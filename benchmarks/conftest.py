@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import pytest
+
+
+def run_once(benchmark, function: Callable, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark.
+
+    The figure regenerations are full (deterministic) simulation sweeps, so a
+    single iteration is both sufficient and necessary to keep the suite's
+    wall-clock time reasonable.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_figure(figure) -> None:
+    """Print a reproduced figure's series below the benchmark output."""
+    print()
+    print(figure.render())
+
+
+def paper_comparison(rows: List[Dict[str, object]]) -> None:
+    """Print paper-vs-measured comparison rows."""
+    from repro.analysis.report import format_table
+
+    if not rows:
+        return
+    headers = list(rows[0])
+    print()
+    print(format_table(headers, [[row[h] for h in headers] for row in rows]))

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""A replicated key-value store on top of Banyan.
+
+This is the "world computer" use case from the paper's introduction scaled
+down to a key-value store: clients submit ``SET``/``DEL`` transactions, the
+Banyan protocol totally orders them into blocks, and every replica applies
+the finalized payloads to its own deterministic state machine.  At the end
+all replicas hold byte-identical state.
+
+The example also shows how to plug a custom payload source into the protocol:
+proposals drain a shared mempool instead of carrying synthetic bit vectors.
+
+Run with::
+
+    python examples/replicated_kv_store.py
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from repro import NetworkConfig, ProtocolParams, Simulation
+from repro.net.latency import ConstantLatency
+from repro.protocols.registry import create_replicas
+from repro.smr.ledger import KeyValueLedger, Transaction, encode_transactions
+from repro.smr.mempool import Mempool, PayloadSource
+
+
+class MempoolPayloadSource(PayloadSource):
+    """Payload source that drains a shared mempool of client transactions."""
+
+    def __init__(self, mempool: Mempool, max_bytes_per_block: int = 4_096) -> None:
+        super().__init__(payload_size=0)
+        self.mempool = mempool
+        self.max_bytes_per_block = max_bytes_per_block
+
+    def payload_for(self, round: int, proposer: int) -> Tuple[bytes, int]:
+        transactions = self.mempool.take(self.max_bytes_per_block)
+        payload = b"\n".join(transactions)
+        if not payload:
+            payload = f"empty:r{round}:p{proposer}".encode("utf-8")
+        return payload, len(payload)
+
+
+def generate_client_workload(mempool: Mempool, accounts: int = 20, operations: int = 300) -> None:
+    """Simulate clients submitting transfers between accounts."""
+    rng = random.Random(7)
+    for i in range(operations):
+        key = f"account-{rng.randrange(accounts)}"
+        if rng.random() < 0.9:
+            transaction = Transaction(op="SET", key=key, value=str(rng.randrange(1_000)))
+        else:
+            transaction = Transaction(op="DEL", key=key)
+        mempool.add(encode_transactions([transaction]))
+
+
+def main() -> None:
+    params = ProtocolParams(n=4, f=1, p=1, rank_delay=0.4)
+    mempool = Mempool()
+    generate_client_workload(mempool)
+    print(f"mempool holds {len(mempool)} client transactions")
+
+    payload_source = MempoolPayloadSource(mempool)
+    replicas = create_replicas("banyan", params, payload_source=payload_source)
+    simulation = Simulation(replicas, NetworkConfig(latency=ConstantLatency(0.04), seed=3))
+
+    # Each replica applies finalized payloads to its own ledger.
+    ledgers: Dict[int, KeyValueLedger] = {rid: KeyValueLedger() for rid in simulation.replica_ids}
+    simulation.add_commit_listener(
+        lambda record: ledgers[record.replica_id].apply_payload(record.block.payload)
+    )
+
+    simulation.run(until=20.0)
+
+    committed = len(simulation.commits_for(0))
+    applied = ledgers[0].applied_transactions
+    print(f"replica 0 committed {committed} blocks carrying {applied} transactions")
+
+    digests = {rid: ledger.state_digest() for rid, ledger in ledgers.items()}
+    print("per-replica state digests:", digests)
+    assert len(set(digests.values())) == 1, "replicated state diverged!"
+    print("all replicas hold identical key-value state — replication works")
+
+    sample_keys = sorted(ledgers[0].snapshot())[:5]
+    print("sample of the replicated state:")
+    for key in sample_keys:
+        print(f"  {key} = {ledgers[0].get(key)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Compare Banyan against ICC, HotStuff, and Streamlet on a worldwide WAN.
+
+Reproduces the flavour of the paper's Section 9.5 experiment: 19 replicas,
+one per datacenter across the globe, 1 MB blocks, and the proposal
+finalization latency of each protocol.  The geographic latency model derives
+one-way delays from great-circle distances between real AWS regions.
+
+Run with::
+
+    python examples/wan_comparison.py            # default quick sweep
+    python examples/wan_comparison.py --duration 30 --payload 400000
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import improvement_pct
+from repro.eval.experiment import ExperimentConfig, run_experiment
+from repro.eval.scenarios import GLOBAL_RANK_DELAY
+from repro.net.topology import worldwide_datacenters
+from repro.protocols.base import ProtocolParams
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=15.0,
+                        help="simulated seconds per protocol run")
+    parser.add_argument("--payload", type=int, default=1_000_000,
+                        help="block payload size in bytes")
+    args = parser.parse_args()
+
+    topology = worldwide_datacenters(19)
+    print(f"topology: 19 replicas across {len(topology.datacenters())} datacenters")
+
+    lineup = [
+        ("banyan (p=1)", "banyan", 6, 1),
+        ("banyan (p=4)", "banyan", 4, 4),
+        ("icc", "icc", 6, 1),
+        ("hotstuff", "hotstuff", 6, 1),
+        ("streamlet", "streamlet", 6, 1),
+    ]
+
+    rows = []
+    latencies = {}
+    for label, protocol, f, p in lineup:
+        params = ProtocolParams(n=19, f=f, p=p, rank_delay=GLOBAL_RANK_DELAY,
+                                payload_size=args.payload)
+        config = ExperimentConfig(protocol=protocol, params=params, topology=topology,
+                                  duration=args.duration, warmup=2.0, label=label)
+        result = run_experiment(config)
+        latencies[label] = result.metrics.mean_latency
+        row = result.row()
+        rows.append([label, row["mean_latency_ms"], row["p95_latency_ms"],
+                     row["throughput_MBps"], row["fast_path_ratio"], row["committed_blocks"]])
+
+    print()
+    print(format_table(
+        ["protocol", "mean latency (ms)", "p95 (ms)", "throughput (MB/s)",
+         "fast-path ratio", "blocks"],
+        rows,
+    ))
+
+    print()
+    for label in ("banyan (p=1)", "banyan (p=4)"):
+        print(f"{label} improves on ICC by "
+              f"{improvement_pct(latencies['icc'], latencies[label]):.1f}% "
+              f"(paper: {'5.8%' if label.endswith('(p=1)') else '16%'} at 1 MB)")
+
+
+if __name__ == "__main__":
+    main()

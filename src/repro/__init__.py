@@ -1,0 +1,48 @@
+"""Banyan: Fast Rotating Leader BFT — Python reproduction.
+
+This package reproduces the system described in "Banyan: Fast Rotating
+Leader BFT" (Vonlanthen, Sliwinski, Albarello, Wattenhofer; MIDDLEWARE 2024):
+the Banyan protocol itself (:mod:`repro.core`), the ICC / HotStuff /
+Streamlet baselines (:mod:`repro.protocols`), and every substrate needed to
+run and evaluate them — simulated cryptography (:mod:`repro.crypto`), leader
+rotation (:mod:`repro.beacon`), a WAN network model (:mod:`repro.net`), a
+deterministic discrete-event runtime plus an asyncio runtime
+(:mod:`repro.runtime`), the SMR harness (:mod:`repro.smr`), and the
+evaluation scenarios reproducing every table and figure of the paper
+(:mod:`repro.eval`).
+
+Quickstart::
+
+    from repro import BanyanReplica, ProtocolParams, Simulation, NetworkConfig
+    from repro.protocols.registry import create_replicas
+
+    params = ProtocolParams(n=4, f=1, p=1, rank_delay=0.4)
+    replicas = create_replicas("banyan", params)
+    sim = Simulation(replicas, NetworkConfig())
+    sim.run(until=10.0)
+    print(len(sim.commits_for(0)), "blocks committed at replica 0")
+"""
+
+from repro.core.banyan import BanyanReplica
+from repro.eval.experiment import ExperimentConfig, run_experiment
+from repro.protocols.base import Protocol, ProtocolParams
+from repro.protocols.hotstuff import HotStuffReplica
+from repro.protocols.icc import ICCReplica
+from repro.protocols.streamlet import StreamletReplica
+from repro.runtime.simulator import NetworkConfig, Simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BanyanReplica",
+    "ExperimentConfig",
+    "HotStuffReplica",
+    "ICCReplica",
+    "NetworkConfig",
+    "Protocol",
+    "ProtocolParams",
+    "Simulation",
+    "StreamletReplica",
+    "__version__",
+    "run_experiment",
+]

@@ -1,0 +1,24 @@
+"""Statistics and report formatting for experiment results."""
+
+from repro.analysis.report import format_table, render_series
+from repro.analysis.stats import (
+    confidence_interval_95,
+    improvement_pct,
+    mean,
+    median,
+    percentile,
+    stddev,
+    variance,
+)
+
+__all__ = [
+    "confidence_interval_95",
+    "format_table",
+    "improvement_pct",
+    "mean",
+    "median",
+    "percentile",
+    "render_series",
+    "stddev",
+    "variance",
+]

@@ -1,0 +1,46 @@
+"""Plain-text table rendering for experiment output.
+
+Benchmarks and the CLI print the reproduced tables/figure series as aligned
+text tables so that the "same rows/series the paper reports" are visible
+directly in the terminal, with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    rendered_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+    def _line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    separator = "  ".join("-" * width for width in widths)
+    lines = [_line(list(headers)), separator]
+    lines.extend(_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def render_series(title: str, series: Mapping[str, Sequence[Mapping[str, object]]],
+                  columns: Sequence[str]) -> str:
+    """Render one figure's data as per-protocol sections.
+
+    Args:
+        title: figure title.
+        series: mapping protocol label → list of row dictionaries.
+        columns: which keys of each row dictionary to print, in order.
+    """
+    parts = [title, "=" * len(title)]
+    for label, rows in series.items():
+        parts.append("")
+        parts.append(f"[{label}]")
+        parts.append(format_table(columns, [[row.get(col, "") for col in columns] for row in rows]))
+    return "\n".join(parts)

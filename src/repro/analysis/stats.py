@@ -1,0 +1,77 @@
+"""Small, dependency-free statistics helpers.
+
+The evaluation needs only basic descriptive statistics (means, percentiles,
+variance, simple confidence intervals) and relative-improvement arithmetic,
+so these are implemented directly rather than pulling in numpy/scipy for the
+core library (they remain optional extras for notebook-style analysis).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def variance(values: Sequence[float]) -> float:
+    """Unbiased sample variance; 0.0 for fewer than two samples."""
+    if len(values) < 2:
+        return 0.0
+    centre = mean(values)
+    return sum((value - centre) ** 2 for value in values) / (len(values) - 1)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation."""
+    return math.sqrt(variance(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in ``[0, 100]``); 0.0 if empty.
+
+    Raises:
+        ValueError: if ``q`` is outside ``[0, 100]``.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if q == 0:
+        return ordered[0]
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def median(values: Sequence[float]) -> float:
+    """Median via the nearest-rank 50th percentile."""
+    return percentile(values, 50)
+
+
+def confidence_interval_95(values: Sequence[float]) -> Tuple[float, float]:
+    """Normal-approximation 95% confidence interval of the mean.
+
+    Returns ``(low, high)``; collapses to ``(mean, mean)`` for fewer than two
+    samples.
+    """
+    if len(values) < 2:
+        centre = mean(values)
+        return (centre, centre)
+    centre = mean(values)
+    half_width = 1.96 * stddev(values) / math.sqrt(len(values))
+    return (centre - half_width, centre + half_width)
+
+
+def improvement_pct(baseline: float, improved: float) -> float:
+    """Relative improvement of ``improved`` over ``baseline`` in percent.
+
+    Positive means ``improved`` is smaller (better, for latencies).  Returns
+    0.0 when the baseline is zero.
+    """
+    if baseline == 0:
+        return 0.0
+    return (baseline - improved) / baseline * 100.0

@@ -1,0 +1,11 @@
+"""Leader rotation / random beacon.
+
+The paper assumes access to shared randomness through a random beacon that
+defines a per-round permutation of replicas (rank 0 = leader).  The paper's
+own evaluation replaces the beacon by round-robin rotation (Section 9.1); we
+provide both, behind a common :class:`repro.beacon.beacon.Beacon` interface.
+"""
+
+from repro.beacon.beacon import Beacon, RoundRobinBeacon, SeededPermutationBeacon
+
+__all__ = ["Beacon", "RoundRobinBeacon", "SeededPermutationBeacon"]

@@ -1,0 +1,14 @@
+"""Block-tree storage and finalized-chain extraction.
+
+Replicas hold a (possibly partial) view of the block tree rooted at genesis
+(Section 4 of the paper).  :class:`repro.blocktree.tree.BlockTree` stores
+blocks indexed by id and by round, tracks per-block status flags
+(notarized / unlocked / finalized), and answers ancestry queries.
+:class:`repro.blocktree.chain.FinalizedChain` maintains the totally ordered
+chain of finalized blocks that constitutes the replica's output.
+"""
+
+from repro.blocktree.chain import FinalizedChain
+from repro.blocktree.tree import BlockTree
+
+__all__ = ["BlockTree", "FinalizedChain"]

@@ -1,0 +1,191 @@
+"""Misbehaving replica implementations.
+
+These replicas are planted into otherwise-honest replica sets in tests and
+ablation benchmarks.  They are intentionally *not* exhaustive adversaries —
+they exercise the specific failure modes the paper's analysis discusses:
+silence (crash), leader equivocation, and stragglers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Type
+
+from repro.core.banyan import BanyanReplica
+from repro.protocols.base import Protocol, ProtocolParams
+from repro.protocols.icc import ICCReplica
+from repro.runtime.context import ReplicaContext, Timer
+from repro.types.blocks import Block
+from repro.types.messages import Message
+
+
+class SilentReplica(Protocol):
+    """A replica that never sends anything (equivalent to being crashed)."""
+
+    name = "silent"
+
+    def __init__(self, replica_id: int, params: ProtocolParams, **_: Any) -> None:
+        super().__init__(replica_id, params)
+
+    def on_start(self, ctx: ReplicaContext) -> None:
+        """Ignore start-up."""
+
+    def on_message(self, ctx: ReplicaContext, sender: int, message: Message) -> None:
+        """Drop every message."""
+
+    def on_timer(self, ctx: ReplicaContext, timer: Timer) -> None:
+        """Ignore timers."""
+
+
+class _EquivocationMixin:
+    """Override proposing to send two conflicting blocks to disjoint halves.
+
+    When the replica is the round leader it creates two different blocks
+    extending the same parent and sends one to the first half of the replicas
+    and the other to the second half — the classic equivocation attack that
+    the notarization/fast-vote quorum intersection must defuse.
+    """
+
+    def _propose(self, ctx: ReplicaContext, round_k: int) -> None:  # type: ignore[override]
+        state = self._round(round_k)
+        if state.proposed or state.advanced:
+            return
+        rank = self.beacon.rank(round_k, self.replica_id)
+        if rank != 0:
+            # Behave honestly when not the leader; equivocation only pays as
+            # the rank-0 proposer.
+            super()._propose(ctx, round_k)
+            return
+        candidates = self._parent_candidates(round_k)
+        if not candidates:
+            return
+        parent = min(candidates, key=lambda b: (b.rank, b.id))
+        state.proposed = True
+        replica_ids = ctx.replica_ids
+        half = len(replica_ids) // 2
+        groups = [replica_ids[:half], replica_ids[half:]]
+        for index, group in enumerate(groups):
+            payload = f"equivocation:{round_k}:{index}".encode("utf-8")
+            block = Block(
+                round=round_k,
+                proposer=self.replica_id,
+                rank=0,
+                parent_id=parent.id,
+                payload=payload,
+                payload_size=self.params.payload_size,
+            )
+            proposal = self._make_proposal(round_k, block, parent)
+            for receiver in group:
+                ctx.send(receiver, proposal)
+            self._after_propose(ctx, round_k, block)
+
+
+class EquivocatingICCReplica(_EquivocationMixin, ICCReplica):
+    """An ICC replica that equivocates whenever it is the leader."""
+
+    name = "icc-equivocator"
+
+
+class EquivocatingBanyanReplica(_EquivocationMixin, BanyanReplica):
+    """A Banyan replica that equivocates whenever it is the leader."""
+
+    name = "banyan-equivocator"
+
+
+class EquivocatingLeaderReplica(EquivocatingBanyanReplica):
+    """Default equivocator (Banyan flavour); kept for a stable public name."""
+
+
+def make_equivocating_icc() -> Type[Protocol]:
+    """Factory for planting an equivocating ICC leader via ``overrides``."""
+    return EquivocatingICCReplica
+
+
+def make_equivocating_banyan() -> Type[Protocol]:
+    """Factory for planting an equivocating Banyan leader via ``overrides``."""
+    return EquivocatingBanyanReplica
+
+
+class _DelayingContext(ReplicaContext):
+    """Context wrapper that delays every outbound message by a fixed amount."""
+
+    def __init__(self, inner: ReplicaContext, owner: "DelayedReplica") -> None:
+        self._inner = inner
+        self._owner = owner
+
+    @property
+    def replica_id(self) -> int:
+        return self._inner.replica_id
+
+    @property
+    def replica_ids(self) -> list:
+        return self._inner.replica_ids
+
+    def now(self) -> float:
+        return self._inner.now()
+
+    def send(self, receiver: int, message: Message) -> None:
+        self._owner.queue_send(self._inner, receiver, message)
+
+    def broadcast(self, message: Message) -> None:
+        for receiver in self._inner.replica_ids:
+            self._owner.queue_send(self._inner, receiver, message)
+
+    def set_timer(self, delay: float, name: str, data: Any = None) -> int:
+        return self._inner.set_timer(delay, name, data)
+
+    def cancel_timer(self, timer_id: int) -> None:
+        self._inner.cancel_timer(timer_id)
+
+    def commit(self, blocks, finalization_kind: str = "slow") -> None:
+        self._inner.commit(blocks, finalization_kind=finalization_kind)
+
+
+class DelayedReplica(Protocol):
+    """An honest replica whose outbound messages are delayed (a straggler).
+
+    Wraps an inner honest protocol and defers every ``send``/``broadcast`` by
+    ``extra_delay`` seconds using the runtime's own timers.  Used by the
+    straggler ablation benchmark to show when the Banyan fast path stops
+    firing.
+    """
+
+    name = "delayed"
+
+    #: Timer name used internally for deferred sends.
+    _SEND_TIMER = "__delayed_send__"
+
+    def __init__(
+        self,
+        inner: Protocol,
+        extra_delay: float,
+    ) -> None:
+        super().__init__(inner.replica_id, inner.params, inner.registry)
+        if extra_delay < 0:
+            raise ValueError("extra delay must be non-negative")
+        self.inner = inner
+        self.extra_delay = extra_delay
+        self.proposal_times = inner.proposal_times
+
+    def queue_send(self, ctx: ReplicaContext, receiver: int, message: Message) -> None:
+        """Defer a send by ``extra_delay`` (immediately if the delay is 0)."""
+        if self.extra_delay <= 0:
+            ctx.send(receiver, message)
+            return
+        ctx.set_timer(self.extra_delay, self._SEND_TIMER, (receiver, message))
+
+    def on_start(self, ctx: ReplicaContext) -> None:
+        """Start the wrapped replica with a delaying context."""
+        self.inner.on_start(_DelayingContext(ctx, self))
+
+    def on_message(self, ctx: ReplicaContext, sender: int, message: Message) -> None:
+        """Deliver to the wrapped replica with a delaying context."""
+        self.inner.on_message(_DelayingContext(ctx, self), sender, message)
+
+    def on_timer(self, ctx: ReplicaContext, timer: Timer) -> None:
+        """Flush deferred sends; forward other timers to the wrapped replica."""
+        if timer.name == self._SEND_TIMER:
+            receiver, message = timer.data
+            ctx.send(receiver, message)
+            return
+        self.inner.on_timer(_DelayingContext(ctx, self), timer)

@@ -1,0 +1,127 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    banyan-repro table1 [--f 6 --p 1]
+    banyan-repro figure 6a [--duration 20]
+    banyan-repro figure 6d
+    banyan-repro run --protocol banyan --n 19 --f 6 --p 1 --payload 400000
+    banyan-repro list
+
+The output is plain text: the same rows/series the paper reports, rendered
+with :mod:`repro.analysis.report`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_table
+from repro.eval import scenarios
+from repro.eval.experiment import ExperimentConfig, run_experiment
+from repro.eval.table1 import table1_rows
+from repro.net.topology import four_global_datacenters, four_us_datacenters, worldwide_datacenters
+from repro.protocols.base import ProtocolParams
+from repro.protocols.registry import available_protocols
+
+_FIGURES = {
+    "6a": scenarios.figure_6a,
+    "6b": scenarios.figure_6b,
+    "6c": scenarios.figure_6c,
+    "6d": scenarios.figure_6d,
+    "6e": scenarios.figure_6e,
+    "ablation-p": scenarios.ablation_p_sweep,
+    "ablation-stragglers": scenarios.ablation_stragglers,
+}
+
+_TOPOLOGIES = {
+    "global4": four_global_datacenters,
+    "us4": four_us_datacenters,
+    "worldwide": worldwide_datacenters,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="banyan-repro",
+        description="Reproduce the evaluation of 'Banyan: Fast Rotating Leader BFT'.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table_parser = subparsers.add_parser("table1", help="print the analytic Table 1")
+    table_parser.add_argument("--f", type=int, default=1, help="Byzantine bound f")
+    table_parser.add_argument("--p", type=int, default=1, help="fast-path parameter p")
+
+    figure_parser = subparsers.add_parser("figure", help="reproduce one evaluation figure")
+    figure_parser.add_argument("name", choices=sorted(_FIGURES), help="figure to reproduce")
+    figure_parser.add_argument("--duration", type=float, default=None,
+                               help="simulated duration per experiment (seconds)")
+    figure_parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+
+    run_parser = subparsers.add_parser("run", help="run a single custom experiment")
+    run_parser.add_argument("--protocol", choices=available_protocols(), default="banyan")
+    run_parser.add_argument("--n", type=int, default=19)
+    run_parser.add_argument("--f", type=int, default=6)
+    run_parser.add_argument("--p", type=int, default=1)
+    run_parser.add_argument("--payload", type=int, default=400_000, help="payload size in bytes")
+    run_parser.add_argument("--duration", type=float, default=20.0)
+    run_parser.add_argument("--topology", choices=sorted(_TOPOLOGIES), default="global4")
+    run_parser.add_argument("--seed", type=int, default=0)
+
+    subparsers.add_parser("list", help="list available protocols and figures")
+    return parser
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = table1_rows(f=args.f, p=args.p)
+    headers = ["protocol", "finalization_latency", "finalization_requirement",
+               "creation_latency", "creation_requirement", "replicas", "rotating_leaders"]
+    print(format_table(headers, [[row[h] for h in headers] for row in rows]))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    factory = _FIGURES[args.name]
+    kwargs = {"seed": args.seed}
+    if args.duration is not None:
+        kwargs["duration"] = args.duration
+    figure = factory(**kwargs)
+    print(figure.render())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    params = ProtocolParams(n=args.n, f=args.f, p=args.p, payload_size=args.payload,
+                            rank_delay=scenarios.GLOBAL_RANK_DELAY)
+    topology = _TOPOLOGIES[args.topology](args.n)
+    config = ExperimentConfig(protocol=args.protocol, params=params, topology=topology,
+                              duration=args.duration, seed=args.seed)
+    result = run_experiment(config)
+    row = result.row()
+    print(format_table(sorted(row), [[row[key] for key in sorted(row)]]))
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("protocols:", ", ".join(available_protocols()))
+    print("figures:  ", ", ".join(sorted(_FIGURES)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "table1": _cmd_table1,
+        "figure": _cmd_figure,
+        "run": _cmd_run,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""The paper's primary contribution: the Banyan protocol.
+
+* :mod:`repro.core.banyan` — the :class:`BanyanReplica` state machine,
+  implementing Algorithms 1 and 2 of the paper as the set of changes
+  (Restrictions 1–2, Additions 1–4) applied on top of the ICC slow path.
+* :mod:`repro.core.fastpath` — the round-local fast-path state: fast-vote
+  support tracking, the unlock conditions of Definition 7.6, and unlock-proof
+  construction (Definition 7.7).
+* :mod:`repro.core.adaptive` — adaptive adjustment of the per-rank delay to
+  an unknown communication delay bound (Remark 4.2).
+"""
+
+from repro.core.adaptive import AdaptiveDelayEstimator
+from repro.core.banyan import BanyanReplica
+from repro.core.fastpath import FastPathState, UnlockDecision
+
+__all__ = ["AdaptiveDelayEstimator", "BanyanReplica", "FastPathState", "UnlockDecision"]

@@ -1,0 +1,131 @@
+"""Adaptive delay adjustment (Remark 4.2 of the paper).
+
+"In the simplest implementation of the ICC protocol, we can assume that the
+communication delay bound Δ is an explicit parameter.  In practice, instead,
+the protocol is modified to adaptively adjust to an unknown communication
+delay bound."
+
+:class:`AdaptiveDelayEstimator` implements that practical variant: it
+observes how long each round actually takes (from entering the round to
+notarizing the first block) and derives the per-rank delay ``2Δ`` as a
+high percentile of recent observations times a safety factor, clamped to a
+configured range.  When rounds stall (e.g. a crashed leader forces the rank-1
+fallback), the estimate backs off multiplicatively, restoring liveness under
+an unknown or drifting delay bound; when the network is faster than assumed,
+the estimate shrinks towards the observed latency so higher-rank proposers
+and notarization delays do not add unnecessary slack after faults.
+
+The estimator is deliberately protocol-agnostic: Banyan and ICC feed it round
+duration samples and read back the current ``rank_delay``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+
+class AdaptiveDelayEstimator:
+    """Estimates the per-rank delay ``2Δ`` from observed round durations.
+
+    Args:
+        initial_delay: starting value of ``2Δ`` in seconds.
+        min_delay: lower clamp for the estimate.
+        max_delay: upper clamp for the estimate.
+        window: number of recent round-duration samples considered.
+        percentile: which percentile of the window drives the estimate.
+        headroom: multiplicative safety factor applied to the percentile.
+        backoff: multiplicative increase applied when a round times out.
+    """
+
+    def __init__(
+        self,
+        initial_delay: float,
+        min_delay: float = 0.01,
+        max_delay: float = 10.0,
+        window: int = 32,
+        percentile: float = 90.0,
+        headroom: float = 1.5,
+        backoff: float = 2.0,
+    ) -> None:
+        if initial_delay <= 0:
+            raise ValueError("initial delay must be positive")
+        if not 0 < min_delay <= max_delay:
+            raise ValueError("need 0 < min_delay <= max_delay")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if not 0 < percentile <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        if headroom < 1.0 or backoff < 1.0:
+            raise ValueError("headroom and backoff must be at least 1.0")
+        self.min_delay = min_delay
+        self.max_delay = max_delay
+        self.window = window
+        self.percentile = percentile
+        self.headroom = headroom
+        self.backoff = backoff
+        self._samples: Deque[float] = deque(maxlen=window)
+        self._current = self._clamp(initial_delay)
+        self._timeouts = 0
+        self._observations = 0
+
+    # ------------------------------------------------------------------ #
+    # Observations
+    # ------------------------------------------------------------------ #
+
+    def observe_round(self, duration: float) -> None:
+        """Record how long a successful round took (entry to notarization)."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self._observations += 1
+        self._samples.append(duration)
+        self._recompute()
+
+    def observe_timeout(self) -> None:
+        """Record that a round made no progress within the current delay.
+
+        The estimate backs off multiplicatively so the protocol regains
+        liveness under an unknown (larger) delay bound.
+        """
+        self._timeouts += 1
+        self._current = self._clamp(self._current * self.backoff)
+
+    # ------------------------------------------------------------------ #
+    # Estimate
+    # ------------------------------------------------------------------ #
+
+    @property
+    def current_delay(self) -> float:
+        """The current estimate of the per-rank delay ``2Δ`` in seconds."""
+        return self._current
+
+    @property
+    def observations(self) -> int:
+        """Number of successful round observations recorded."""
+        return self._observations
+
+    @property
+    def timeouts(self) -> int:
+        """Number of timeout observations recorded."""
+        return self._timeouts
+
+    def proposal_delay(self, rank: int) -> float:
+        """``Δ_prop(r)`` using the adaptive estimate."""
+        return self._current * rank
+
+    def notarization_delay(self, rank: int) -> float:
+        """``Δ_notary(r)`` using the adaptive estimate."""
+        return self._current * rank
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _clamp(self, value: float) -> float:
+        return min(self.max_delay, max(self.min_delay, value))
+
+    def _recompute(self) -> None:
+        ordered = sorted(self._samples)
+        index = max(0, int(round(self.percentile / 100.0 * len(ordered))) - 1)
+        target = ordered[index] * self.headroom
+        self._current = self._clamp(target)

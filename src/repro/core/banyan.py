@@ -1,0 +1,336 @@
+"""The Banyan protocol (Algorithms 1 and 2 of the paper).
+
+Banyan extends the ICC slow path with an integrated fast path.  Following the
+paper, the implementation is expressed as the set of changes applied to
+:class:`repro.protocols.icc.ICCReplica`:
+
+* **Restriction 1** — block proposals, notarization votes, fast votes, and
+  finalization votes only refer to blocks that extend a notarized *and
+  unlocked* parent (``_is_valid`` / ``_parent_candidates``).
+* **Restriction 2** — a replica moves to the next round only once an
+  *unlocked* block is notarized and it has sent a fast vote
+  (``_advance_candidates`` / ``_can_advance``).
+* **Addition 1** — on round advancement the notarization is broadcast
+  together with an unlock proof (``_broadcast_round_certificates``).
+* **Addition 2** — proposals carry the parent's notarization and unlock
+  proof, and rank-0 proposals carry the proposer's own fast vote
+  (``_make_proposal`` / ``_after_propose``).
+* **Addition 3** — the first notarization vote of a round is accompanied by
+  a fast vote for the same block (``_votes_for_block``).
+* **Addition 4** — a rank-0 block that gathers ``n - p`` fast votes is
+  FP-finalized; the fast votes are combined into a fast finalization and
+  broadcast (``_try_fast_finalization`` / ``_broadcast_finalization``).
+
+Quorums follow Algorithm 2: notarization and (slow) finalization use
+``⌈(n+f+1)/2⌉`` votes; FP-finalization uses ``n - p`` fast votes.  The
+resilience requirement is ``n ≥ max(3f + 2p - 1, 3f + 1)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.beacon import Beacon
+from repro.core.fastpath import FastPathState
+from repro.crypto.keys import KeyRegistry
+from repro.protocols.base import ProtocolParams
+from repro.protocols.icc import ICCReplica
+from repro.runtime.context import ReplicaContext
+from repro.smr.mempool import PayloadSource
+from repro.types.blocks import Block, BlockId
+from repro.types.certificates import FastFinalization, Finalization, Notarization, UnlockProof
+from repro.types.messages import BlockProposal, CertificateMessage, VoteMessage
+from repro.types.votes import FastVote, Vote, VoteKind
+
+
+class BanyanReplica(ICCReplica):
+    """A single Banyan replica: ICC plus the integrated fast path."""
+
+    name = "banyan"
+
+    def __init__(
+        self,
+        replica_id: int,
+        params: ProtocolParams,
+        beacon: Optional[Beacon] = None,
+        payload_source: Optional[PayloadSource] = None,
+        registry: Optional[KeyRegistry] = None,
+    ) -> None:
+        super().__init__(replica_id, params, beacon, payload_source, registry)
+        params.validate_resilience(require_fast_path=True)
+        #: Per-round fast-path state (fast-vote support and unlock tracking).
+        self._fast: Dict[int, FastPathState] = {}
+        #: Whether this replica already broadcast a fast vote in a round.
+        self._fast_vote_sent: Dict[int, bool] = {}
+        #: Rank-0 blocks whose proposal carried the proposer's fast vote
+        #: (required by the validity rule, Algorithm 2 line 63).
+        self._proposer_fast_vote_seen: set = set()
+        #: Count of FP- vs SP-finalized blocks (observability).
+        self.fast_finalized_count = 0
+        self.slow_finalized_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Quorums (Algorithm 2)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def notarization_quorum(self) -> int:
+        """Banyan notarizes with ``⌈(n+f+1)/2⌉`` votes (Algorithm 2, line 45)."""
+        return self.params.banyan_quorum
+
+    @property
+    def finalization_quorum(self) -> int:
+        """Banyan SP-finalizes with ``⌈(n+f+1)/2⌉`` votes (Algorithm 2, line 56)."""
+        return self.params.banyan_quorum
+
+    @property
+    def fast_quorum(self) -> int:
+        """FP-finalization requires ``n - p`` fast votes (Definition 6.2)."""
+        return self.params.fast_quorum
+
+    # ------------------------------------------------------------------ #
+    # Fast-path state access
+    # ------------------------------------------------------------------ #
+
+    def _fast_state(self, round_k: int) -> FastPathState:
+        state = self._fast.get(round_k)
+        if state is None:
+            state = FastPathState(
+                unlock_threshold=self.params.unlock_threshold,
+                fast_quorum=self.params.fast_quorum,
+            )
+            self._fast[round_k] = state
+        return state
+
+    def _has_sent_fast_vote(self, round_k: int) -> bool:
+        return self._fast_vote_sent.get(round_k, False)
+
+    # ------------------------------------------------------------------ #
+    # Restriction 1: validity requires an unlocked parent
+    # ------------------------------------------------------------------ #
+
+    def _is_valid(self, block: Block) -> bool:
+        """A block is valid if it extends a notarized *and unlocked* parent.
+
+        Rank-0 blocks must additionally have arrived with the proposer's own
+        fast vote (Algorithm 2, line 63).
+        """
+        if not super()._is_valid(block):
+            return False
+        parent_id = block.parent_id
+        if parent_id is not None and not self.tree.is_unlocked(parent_id):
+            return False
+        if block.rank == 0 and block.id not in self._proposer_fast_vote_seen:
+            return False
+        return True
+
+    def _parent_candidates(self, round_k: int) -> List[Block]:
+        """Proposals may only extend notarized and unlocked blocks."""
+        return self.tree.notarized_and_unlocked_at_round(round_k - 1)
+
+    # ------------------------------------------------------------------ #
+    # Addition 2: proposals carry unlock proofs and the leader's fast vote
+    # ------------------------------------------------------------------ #
+
+    def _make_proposal(self, round_k: int, block: Block, parent: Block) -> BlockProposal:
+        parent_proof = None
+        if not parent.is_genesis():
+            parent_proof = self._fast_state(parent.round).build_unlock_proof(
+                parent.round, parent.id
+            )
+        fast_vote = None
+        if block.rank == 0:
+            fast_vote = self._make_fast_vote(round_k, block.id)
+        return BlockProposal(
+            block=block,
+            parent_notarization=self._notarization_for(parent),
+            parent_unlock_proof=parent_proof,
+            fast_vote=fast_vote,
+        )
+
+    def _after_propose(self, ctx: ReplicaContext, round_k: int, block: Block) -> None:
+        """A rank-0 proposer has broadcast its fast vote along with the block."""
+        if block.rank == 0:
+            self._fast_vote_sent[round_k] = True
+
+    def _make_fast_vote(self, round_k: int, block_id: BlockId) -> FastVote:
+        signature = None
+        if self.params.sign_messages and self.registry is not None:
+            from repro.crypto.signatures import sign
+
+            signature = sign(
+                (VoteKind.FAST.value, round_k, block_id), self.replica_id, self.registry
+            )
+        return FastVote(
+            round=round_k, block_id=block_id, voter=self.replica_id, signature=signature
+        )
+
+    def _make_vote(self, kind: VoteKind, round_k: int, block_id: BlockId) -> Vote:
+        if kind is VoteKind.FAST:
+            return self._make_fast_vote(round_k, block_id)
+        return super()._make_vote(kind, round_k, block_id)
+
+    # ------------------------------------------------------------------ #
+    # Proposal handling: absorb unlock proofs and the proposer's fast vote
+    # ------------------------------------------------------------------ #
+
+    def _handle_proposal(self, ctx: ReplicaContext, sender: int, proposal: BlockProposal) -> None:
+        block = proposal.block
+        if proposal.fast_vote is not None:
+            vote = proposal.fast_vote
+            if (
+                vote.kind is VoteKind.FAST
+                and vote.block_id == block.id
+                and vote.voter == block.proposer
+            ):
+                self._proposer_fast_vote_seen.add(block.id)
+        if proposal.parent_unlock_proof is not None:
+            self._absorb_unlock_proof(ctx, proposal.parent_unlock_proof)
+        super()._handle_proposal(ctx, sender, proposal)
+        if proposal.fast_vote is not None and proposal.fast_vote.kind is VoteKind.FAST:
+            self._handle_fast_vote(ctx, proposal.fast_vote)
+
+    def _relay_message(self, round_k: int, block: Block) -> BlockProposal:
+        """Forward the block together with the certificates Banyan requires."""
+        parent = self.tree.get(block.parent_id) if block.parent_id else None
+        parent_proof = None
+        if parent is not None and not parent.is_genesis():
+            parent_proof = self._fast_state(parent.round).build_unlock_proof(
+                parent.round, parent.id
+            )
+        fast_vote = None
+        if block.rank == 0 and block.id in self._proposer_fast_vote_seen:
+            # Preserve the proposer's fast vote so the relayed block stays valid.
+            fast_vote = FastVote(round=round_k, block_id=block.id, voter=block.proposer)
+        return BlockProposal(
+            block=block,
+            parent_notarization=self._notarization_for(parent) if parent else None,
+            parent_unlock_proof=parent_proof,
+            fast_vote=fast_vote,
+            relayed_by=self.replica_id,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Addition 3: the first notarization vote carries a fast vote
+    # ------------------------------------------------------------------ #
+
+    def _votes_for_block(self, round_k: int, block: Block) -> List[Vote]:
+        votes: List[Vote] = [self._make_vote(VoteKind.NOTARIZATION, round_k, block.id)]
+        if not self._has_sent_fast_vote(round_k):
+            self._fast_vote_sent[round_k] = True
+            votes.append(self._make_fast_vote(round_k, block.id))
+        return votes
+
+    # ------------------------------------------------------------------ #
+    # Fast votes, unlock conditions, FP-finalization
+    # ------------------------------------------------------------------ #
+
+    def _handle_fast_vote(self, ctx: ReplicaContext, vote: Vote) -> None:
+        state = self._fast_state(vote.round)
+        state.record_fast_vote(vote.block_id, vote.voter)
+        self._update_fast_path(ctx, vote.round)
+
+    def _absorb_unlock_proof(self, ctx: ReplicaContext, proof: UnlockProof) -> None:
+        state = self._fast_state(proof.round)
+        state.merge_unlock_proof(proof)
+        self._update_fast_path(ctx, proof.round)
+
+    def _after_block_added(self, ctx: ReplicaContext, block: Block) -> None:
+        self._fast_state(block.round).record_block(block.id, block.rank)
+        self._update_fast_path(ctx, block.round)
+        super()._after_block_added(ctx, block)
+
+    def _update_fast_path(self, ctx: ReplicaContext, round_k: int) -> None:
+        """Re-evaluate unlock conditions and FP-finalization for ``round_k``."""
+        state = self._fast_state(round_k)
+        decision = state.evaluate_unlocks()
+        newly_unlocked = False
+        for block_id in decision.unlocked_blocks:
+            if block_id in self.tree and not self.tree.is_unlocked(block_id):
+                self.tree.mark_unlocked(block_id)
+                newly_unlocked = True
+        self._try_fast_finalization(ctx, round_k)
+        if newly_unlocked:
+            # Unlocking a round-k block can make round-(k+1) blocks valid,
+            # enable our own deferred votes, and allow round advancement.
+            self._try_notarization_votes(ctx, round_k)
+            self._try_notarization_votes(ctx, round_k + 1)
+            self._try_advance(ctx, round_k)
+
+    def _try_fast_finalization(self, ctx: ReplicaContext, round_k: int) -> None:
+        state = self._fast_state(round_k)
+        for block_id in state.fast_finalizable_blocks():
+            if round_k > self.k_max and block_id in self.tree:
+                self._finalize(ctx, round_k, block_id, kind="fast")
+
+    # ------------------------------------------------------------------ #
+    # Restriction 2: round advancement needs an unlocked notarized block
+    # ------------------------------------------------------------------ #
+
+    def _advance_candidates(self, round_k: int) -> List[Block]:
+        return self.tree.notarized_and_unlocked_at_round(round_k)
+
+    def _can_advance(self, round_k: int) -> bool:
+        return bool(self._advance_candidates(round_k)) and self._has_sent_fast_vote(round_k)
+
+    # ------------------------------------------------------------------ #
+    # Addition 1: broadcast notarization together with an unlock proof
+    # ------------------------------------------------------------------ #
+
+    def _broadcast_round_certificates(self, ctx: ReplicaContext, round_k: int, block: Block) -> None:
+        state = self._round(round_k)
+        if block.id in state.notarization_broadcast:
+            return
+        state.notarization_broadcast.add(block.id)
+        notarization = self._notarization_for(block)
+        unlock_proof = self._fast_state(round_k).build_unlock_proof(round_k, block.id)
+        ctx.broadcast(
+            CertificateMessage(
+                certificate=notarization,
+                unlock_proof=unlock_proof,
+                sender=self.replica_id,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Addition 4: fast finalization certificates
+    # ------------------------------------------------------------------ #
+
+    def _handle_certificate(self, ctx: ReplicaContext, message: CertificateMessage) -> None:
+        if message.unlock_proof is not None:
+            self._absorb_unlock_proof(ctx, message.unlock_proof)
+        certificate = message.certificate
+        if isinstance(certificate, FastFinalization):
+            if certificate.verify(None, self.fast_quorum):
+                state = self._fast_state(certificate.round)
+                for voter in certificate.voters:
+                    state.record_fast_vote(certificate.block_id, voter)
+                if certificate.block_id in self.tree:
+                    self._finalize(ctx, certificate.round, certificate.block_id, kind="fast")
+                else:
+                    self._pending_finalizations[certificate.block_id] = "fast"
+            return
+        super()._handle_certificate(ctx, message)
+
+    def _broadcast_finalization(self, ctx: ReplicaContext, round_k: int,
+                                block_id: BlockId, kind: str) -> None:
+        if kind == "fast":
+            voters = self._fast_state(round_k).support(block_id)
+            if voters:
+                certificate = FastFinalization(
+                    round=round_k, block_id=block_id, voters=frozenset(voters)
+                )
+                ctx.broadcast(
+                    CertificateMessage(certificate=certificate, sender=self.replica_id)
+                )
+            return
+        super()._broadcast_finalization(ctx, round_k, block_id, kind)
+
+    def _finalize(self, ctx: ReplicaContext, round_k: int, block_id: BlockId, kind: str) -> None:
+        before = self.k_max
+        super()._finalize(ctx, round_k, block_id, kind)
+        if self.k_max > before:
+            if kind == "fast":
+                self.fast_finalized_count += 1
+            else:
+                self.slow_finalized_count += 1

@@ -1,0 +1,158 @@
+"""Fast-path bookkeeping: fast-vote support and the unlock conditions.
+
+This module implements Definitions 7.1–7.7 of the paper as a self-contained,
+per-round data structure so that the unlock logic can be unit- and
+property-tested independently of the full protocol:
+
+* ``supp(b)`` — the set of replicas from which a fast vote for block ``b``
+  was received (Definition 7.1);
+* ``max(k)`` — a rank-0 block with the largest support (Definition 7.2);
+* ``nonLeaderBlocks(k)`` / ``nonMaxBlocks(k)`` (Definitions 7.4, 7.5);
+* the two unlock conditions of Definition 7.6;
+* unlock proofs (Definition 7.7) as per-block voter sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.types.blocks import BlockId
+from repro.types.certificates import UnlockProof
+
+
+@dataclass(frozen=True)
+class UnlockDecision:
+    """Outcome of evaluating Definition 7.6 for one round.
+
+    Attributes:
+        unlocked_blocks: blocks unlocked via Condition 1 (or already known).
+        all_unlocked: whether Condition 2 holds, unlocking *all* current and
+            future blocks of the round.
+    """
+
+    unlocked_blocks: FrozenSet[BlockId]
+    all_unlocked: bool
+
+
+class FastPathState:
+    """Per-round fast-vote support and unlock evaluation.
+
+    Args:
+        unlock_threshold: the value ``f + p``; support strictly above it
+            triggers the unlock conditions.
+        fast_quorum: the value ``n - p``; support at or above it FP-finalizes
+            a rank-0 block.
+    """
+
+    def __init__(self, unlock_threshold: int, fast_quorum: int) -> None:
+        if unlock_threshold < 0 or fast_quorum <= 0:
+            raise ValueError("thresholds must be positive")
+        self.unlock_threshold = unlock_threshold
+        self.fast_quorum = fast_quorum
+        #: Fast-vote support per block id (votes may precede the block).
+        self._support: Dict[BlockId, Set[int]] = {}
+        #: Rank of each *received* block (only received blocks participate in
+        #: the unlock conditions, since their rank must be known).
+        self._block_ranks: Dict[BlockId, int] = {}
+        #: Whether Condition 2 has been met (sticky for the round).
+        self._all_unlocked = False
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def record_block(self, block_id: BlockId, rank: int) -> None:
+        """Register a received round-``k`` block and its rank."""
+        self._block_ranks.setdefault(block_id, rank)
+
+    def record_fast_vote(self, block_id: BlockId, voter: int) -> None:
+        """Register a fast vote from ``voter`` for ``block_id``."""
+        self._support.setdefault(block_id, set()).add(voter)
+
+    def merge_unlock_proof(self, proof: UnlockProof) -> None:
+        """Merge the voter sets carried by an unlock proof (Addition 1/2)."""
+        for block_id, voters in proof.votes_by_block:
+            self._support.setdefault(block_id, set()).update(voters)
+
+    # ------------------------------------------------------------------ #
+    # Queries (Definitions 7.1 – 7.5)
+    # ------------------------------------------------------------------ #
+
+    def support(self, block_id: BlockId) -> FrozenSet[int]:
+        """``supp(b)``: replicas that fast-voted for ``block_id``."""
+        return frozenset(self._support.get(block_id, set()))
+
+    def support_of(self, block_ids: Iterable[BlockId]) -> FrozenSet[int]:
+        """``supp(B)``: distinct replicas that fast-voted for any block in ``B``."""
+        voters: Set[int] = set()
+        for block_id in block_ids:
+            voters |= self._support.get(block_id, set())
+        return frozenset(voters)
+
+    def received_blocks(self) -> List[BlockId]:
+        """Blocks of the round that have been received (rank known)."""
+        return list(self._block_ranks)
+
+    def rank_zero_blocks(self) -> List[BlockId]:
+        """Received blocks of rank 0 (more than one only with a Byzantine leader)."""
+        return [bid for bid, rank in self._block_ranks.items() if rank == 0]
+
+    def non_leader_blocks(self) -> List[BlockId]:
+        """``nonLeaderBlocks(k)``: received blocks with rank larger than 0."""
+        return [bid for bid, rank in self._block_ranks.items() if rank != 0]
+
+    def max_block(self) -> Optional[BlockId]:
+        """``max(k)``: a rank-0 block with the largest support, if any."""
+        rank_zero = self.rank_zero_blocks()
+        if not rank_zero:
+            return None
+        return max(rank_zero, key=lambda bid: (len(self._support.get(bid, set())), bid))
+
+    def non_max_blocks(self) -> List[BlockId]:
+        """``nonMaxBlocks(k)``: received blocks excluding ``max(k)``."""
+        best = self.max_block()
+        return [bid for bid in self._block_ranks if bid != best]
+
+    # ------------------------------------------------------------------ #
+    # Decisions (Definitions 6.2 and 7.6)
+    # ------------------------------------------------------------------ #
+
+    def evaluate_unlocks(self) -> UnlockDecision:
+        """Evaluate Definition 7.6 over the received blocks.
+
+        Condition 2 is sticky: once met, all current *and future* blocks of
+        the round are unlocked, so later calls keep returning
+        ``all_unlocked=True``.
+        """
+        non_leader_support = self.support_of(self.non_leader_blocks())
+        unlocked: Set[BlockId] = set()
+        for block_id in self._block_ranks:
+            combined = set(self._support.get(block_id, set())) | set(non_leader_support)
+            if len(combined) > self.unlock_threshold:
+                unlocked.add(block_id)
+        if not self._all_unlocked:
+            if len(self.support_of(self.non_max_blocks())) > self.unlock_threshold:
+                self._all_unlocked = True
+        if self._all_unlocked:
+            unlocked.update(self._block_ranks)
+        return UnlockDecision(unlocked_blocks=frozenset(unlocked), all_unlocked=self._all_unlocked)
+
+    def fast_finalizable_blocks(self) -> List[BlockId]:
+        """Rank-0 blocks whose support reaches the fast quorum ``n - p``."""
+        return [
+            block_id
+            for block_id in self.rank_zero_blocks()
+            if len(self._support.get(block_id, set())) >= self.fast_quorum
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Unlock proofs (Definition 7.7)
+    # ------------------------------------------------------------------ #
+
+    def build_unlock_proof(self, round: int, block_id: BlockId) -> UnlockProof:
+        """Build an unlock proof from every fast vote seen this round."""
+        ordered: Tuple[Tuple[BlockId, FrozenSet[int]], ...] = tuple(
+            sorted((bid, frozenset(voters)) for bid, voters in self._support.items() if voters)
+        )
+        return UnlockProof(round=round, block_id=block_id, votes_by_block=ordered)

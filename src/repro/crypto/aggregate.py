@@ -1,0 +1,93 @@
+"""Aggregate ("BLS-like") multi-signatures.
+
+The paper aggregates notarization votes, fast votes, and finalization votes
+into compact certificates using BLS multi-signatures [Boneh et al. 2018].
+This module provides an :class:`AggregateSignature` container with the same
+interface properties the protocol depends on:
+
+* shares from distinct signers over the *same* message can be combined;
+* the signer set is explicit (quorum counting);
+* verification checks every constituent share against the PKI;
+* aggregation is idempotent and order-independent.
+
+The compactness of real BLS aggregation (constant-size signatures) is a
+bandwidth optimisation only; it does not change protocol behaviour, so the
+simulation keeps the individual tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, Tuple
+
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import Signature, verify
+
+
+class AggregationError(Exception):
+    """Raised when signature shares cannot be aggregated."""
+
+
+@dataclass(frozen=True)
+class AggregateSignature:
+    """A multi-signature: shares from distinct signers over one message.
+
+    Attributes:
+        shares: mapping from signer id to its signature share (stored as a
+            sorted tuple of pairs so the object is hashable and canonical).
+    """
+
+    shares: Tuple[Tuple[int, Signature], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def from_shares(cls, shares: Iterable[Signature]) -> "AggregateSignature":
+        """Build an aggregate from individual shares.
+
+        Raises:
+            AggregationError: if two shares from the same signer disagree or
+                sign different messages.
+        """
+        by_signer: Dict[int, Signature] = {}
+        reference_digest = None
+        for share in shares:
+            if reference_digest is None:
+                reference_digest = share.message_digest
+            elif share.message_digest != reference_digest:
+                raise AggregationError("cannot aggregate signatures over different messages")
+            existing = by_signer.get(share.signer)
+            if existing is not None and existing.tag != share.tag:
+                raise AggregationError(f"conflicting shares from signer {share.signer}")
+            by_signer[share.signer] = share
+        ordered = tuple(sorted(by_signer.items()))
+        return cls(shares=ordered)
+
+    def signers(self) -> FrozenSet[int]:
+        """Return the set of replica ids that contributed a share."""
+        return frozenset(signer for signer, _ in self.shares)
+
+    def __len__(self) -> int:
+        return len(self.shares)
+
+    def merge(self, other: "AggregateSignature") -> "AggregateSignature":
+        """Combine two aggregates over the same message.
+
+        Raises:
+            AggregationError: if the aggregates sign different messages.
+        """
+        return AggregateSignature.from_shares(
+            [share for _, share in self.shares] + [share for _, share in other.shares]
+        )
+
+    def with_share(self, share: Signature) -> "AggregateSignature":
+        """Return a new aggregate including ``share``."""
+        return AggregateSignature.from_shares([s for _, s in self.shares] + [share])
+
+    def verify(self, message: Any, registry: KeyRegistry) -> bool:
+        """Verify every constituent share against ``message`` and the PKI."""
+        if not self.shares:
+            return False
+        return all(verify(message, share, registry) for _, share in self.shares)
+
+    def verify_threshold(self, message: Any, registry: KeyRegistry, threshold: int) -> bool:
+        """Verify the aggregate and check it carries at least ``threshold`` signers."""
+        return len(self) >= threshold and self.verify(message, registry)

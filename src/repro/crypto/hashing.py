@@ -1,0 +1,76 @@
+"""Collision-resistant hashing over protocol objects.
+
+Protocol messages and blocks are plain dataclasses / tuples / primitives.
+To hash them deterministically we define a small canonical encoding and run
+SHA-256 over it.  The encoding is intentionally simple and explicit rather
+than relying on ``pickle`` (whose output is not stable across interpreter
+versions) or ``repr``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields, is_dataclass
+from typing import Any
+
+_SEPARATOR = b"\x1f"
+_LIST_OPEN = b"\x02"
+_LIST_CLOSE = b"\x03"
+_NONE = b"\x00N"
+
+
+def canonical_encode(value: Any) -> bytes:
+    """Encode ``value`` into a canonical byte string.
+
+    Supported value types are the ones protocol objects are built from:
+    ``None``, ``bool``, ``int``, ``float``, ``str``, ``bytes``, tuples,
+    lists, frozensets/sets (sorted by their encoding), dicts (sorted by
+    encoded key), and dataclasses (encoded as their field name/value pairs).
+
+    Raises:
+        TypeError: if the value contains an unsupported type.
+    """
+    if value is None:
+        return _NONE
+    if isinstance(value, bool):
+        return b"b1" if value else b"b0"
+    if isinstance(value, int):
+        return b"i" + str(value).encode("ascii")
+    if isinstance(value, float):
+        return b"f" + repr(value).encode("ascii")
+    if isinstance(value, str):
+        return b"s" + value.encode("utf-8")
+    if isinstance(value, (bytes, bytearray)):
+        return b"y" + bytes(value)
+    if is_dataclass(value) and not isinstance(value, type):
+        parts = [b"d" + type(value).__name__.encode("utf-8")]
+        for field in fields(value):
+            parts.append(
+                field.name.encode("utf-8")
+                + _SEPARATOR
+                + canonical_encode(getattr(value, field.name))
+            )
+        return _LIST_OPEN + _SEPARATOR.join(parts) + _LIST_CLOSE
+    if isinstance(value, (tuple, list)):
+        encoded_items = [canonical_encode(item) for item in value]
+        return _LIST_OPEN + b"t" + _SEPARATOR.join(encoded_items) + _LIST_CLOSE
+    if isinstance(value, (set, frozenset)):
+        encoded_items = sorted(canonical_encode(item) for item in value)
+        return _LIST_OPEN + b"e" + _SEPARATOR.join(encoded_items) + _LIST_CLOSE
+    if isinstance(value, dict):
+        encoded_items = sorted(
+            canonical_encode(key) + _SEPARATOR + canonical_encode(val)
+            for key, val in value.items()
+        )
+        return _LIST_OPEN + b"m" + _SEPARATOR.join(encoded_items) + _LIST_CLOSE
+    raise TypeError(f"cannot canonically encode value of type {type(value)!r}")
+
+
+def digest(value: Any) -> bytes:
+    """Return the 32-byte SHA-256 digest of the canonical encoding of ``value``."""
+    return hashlib.sha256(canonical_encode(value)).digest()
+
+
+def hash_hex(value: Any) -> str:
+    """Return the hex SHA-256 digest of the canonical encoding of ``value``."""
+    return hashlib.sha256(canonical_encode(value)).hexdigest()

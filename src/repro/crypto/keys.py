@@ -1,0 +1,97 @@
+"""Key pairs and the public-key infrastructure (PKI).
+
+The paper assumes a PKI in which every replica knows every other replica's
+public key (Section 3).  We model a key pair as a pair of byte strings derived
+deterministically from a replica identifier and a seed, and the PKI as a
+:class:`KeyRegistry` mapping replica ids to public keys.
+
+The "private key" is the secret used to key the HMAC in
+:mod:`repro.crypto.signatures`; the "public key" is a hash of the private key
+so that verification can recompute the expected tag via the registry (the
+registry stores the private keys privately — a modelling convenience that
+keeps verification honest: a signature only verifies if it was produced with
+the matching private key).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A replica's signing key pair.
+
+    Attributes:
+        replica_id: identifier of the replica owning the key.
+        private_key: secret signing key bytes.
+        public_key: public verification key bytes (hash of the private key).
+    """
+
+    replica_id: int
+    private_key: bytes
+    public_key: bytes
+
+
+def generate_keypair(replica_id: int, seed: bytes = b"banyan-repro") -> KeyPair:
+    """Deterministically derive a key pair for ``replica_id`` from ``seed``."""
+    private_key = hmac.new(seed, f"replica:{replica_id}".encode("utf-8"), hashlib.sha256).digest()
+    public_key = hashlib.sha256(b"pub" + private_key).digest()
+    return KeyPair(replica_id=replica_id, private_key=private_key, public_key=public_key)
+
+
+class KeyRegistry:
+    """The PKI: maps replica ids to their key pairs.
+
+    In a deployment only the public keys would be shared; in this simulation
+    the registry also holds the private keys so that signature verification
+    can recompute the expected HMAC tag.  Protocol code never reads another
+    replica's private key directly — it only calls
+    :func:`repro.crypto.signatures.verify`.
+    """
+
+    def __init__(self, keypairs: Optional[Iterable[KeyPair]] = None) -> None:
+        self._keys: Dict[int, KeyPair] = {}
+        for keypair in keypairs or ():
+            self.register(keypair)
+
+    @classmethod
+    def for_replicas(cls, n: int, seed: bytes = b"banyan-repro") -> "KeyRegistry":
+        """Create a registry with deterministic keys for replicas ``0..n-1``."""
+        return cls(generate_keypair(i, seed) for i in range(n))
+
+    def register(self, keypair: KeyPair) -> None:
+        """Add ``keypair`` to the registry, replacing any existing entry."""
+        self._keys[keypair.replica_id] = keypair
+
+    def keypair(self, replica_id: int) -> KeyPair:
+        """Return the key pair of ``replica_id``.
+
+        Raises:
+            KeyError: if the replica is unknown.
+        """
+        return self._keys[replica_id]
+
+    def public_key(self, replica_id: int) -> bytes:
+        """Return the public key of ``replica_id``."""
+        return self._keys[replica_id].public_key
+
+    def private_key(self, replica_id: int) -> bytes:
+        """Return the private key of ``replica_id`` (simulation-only access)."""
+        return self._keys[replica_id].private_key
+
+    def __contains__(self, replica_id: int) -> bool:
+        return replica_id in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._keys))
+
+    def replica_ids(self) -> list:
+        """Return the sorted list of registered replica ids."""
+        return sorted(self._keys)

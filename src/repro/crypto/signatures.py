@@ -1,0 +1,77 @@
+"""Per-replica digital signatures (simulated).
+
+A signature over a message is an HMAC-SHA256 tag computed with the replica's
+private key over the canonical digest of the message.  Verification recomputes
+the tag using the registry's copy of the signer's private key.  Forgery is not
+possible without access to the registry, which protocol code treats as the
+trusted PKI oracle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.hashing import digest
+from repro.crypto.keys import KeyRegistry
+
+
+class SignatureError(Exception):
+    """Raised when signing or verification fails structurally."""
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature share produced by a single replica.
+
+    Attributes:
+        signer: replica id that produced the signature.
+        tag: the HMAC tag bytes.
+        message_digest: digest of the signed message (kept for diagnostics).
+    """
+
+    signer: int
+    tag: bytes
+    message_digest: bytes
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tag, (bytes, bytearray)):
+            raise SignatureError("signature tag must be bytes")
+
+
+def sign(message: Any, signer: int, registry: KeyRegistry) -> Signature:
+    """Sign ``message`` on behalf of ``signer``.
+
+    Args:
+        message: any canonically-encodable protocol object.
+        signer: replica id whose key is used.
+        registry: the PKI registry holding the key pair.
+
+    Returns:
+        A :class:`Signature` share.
+
+    Raises:
+        KeyError: if the signer is not registered.
+    """
+    message_digest = digest(message)
+    key = registry.private_key(signer)
+    tag = hmac.new(key, message_digest, hashlib.sha256).digest()
+    return Signature(signer=signer, tag=tag, message_digest=message_digest)
+
+
+def verify(message: Any, signature: Signature, registry: KeyRegistry) -> bool:
+    """Return whether ``signature`` is a valid signature of ``message``.
+
+    Verification fails (returns ``False``) if the signer is unknown, the tag
+    does not match, or the message digest differs from the signed digest.
+    """
+    if signature.signer not in registry:
+        return False
+    message_digest = digest(message)
+    if message_digest != signature.message_digest:
+        return False
+    key = registry.private_key(signature.signer)
+    expected = hmac.new(key, message_digest, hashlib.sha256).digest()
+    return hmac.compare_digest(expected, signature.tag)

@@ -1,0 +1,37 @@
+"""Evaluation harness: experiments, scenarios per paper figure, Table 1.
+
+* :mod:`repro.eval.experiment` — a single experiment run: protocol +
+  topology + workload → :class:`repro.smr.metrics.RunMetrics`.
+* :mod:`repro.eval.table1` — the analytic protocol-comparison table
+  (Table 1 of the paper).
+* :mod:`repro.eval.scenarios` — one entry point per evaluation figure
+  (6a–6e) plus the ablations, returning the series the paper plots.
+"""
+
+from repro.eval.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.eval.scenarios import (
+    ablation_p_sweep,
+    ablation_stragglers,
+    figure_6a,
+    figure_6b,
+    figure_6c,
+    figure_6d,
+    figure_6e,
+)
+from repro.eval.table1 import TABLE1_SPECS, ProtocolSpec, table1_rows
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ProtocolSpec",
+    "TABLE1_SPECS",
+    "ablation_p_sweep",
+    "ablation_stragglers",
+    "figure_6a",
+    "figure_6b",
+    "figure_6c",
+    "figure_6d",
+    "figure_6e",
+    "run_experiment",
+    "table1_rows",
+]

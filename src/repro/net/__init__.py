@@ -1,0 +1,49 @@
+"""Network substrate: latency models, topologies, bandwidth, fault injection.
+
+The paper's evaluation runs on AWS WAN deployments; this package replaces the
+testbed with a parametric network model (see DESIGN.md, substitutions):
+
+* :mod:`repro.net.latency` — per-link one-way delay models (constant,
+  uniform, explicit matrix, geographic great-circle).
+* :mod:`repro.net.topology` — datacenter catalogue (AWS regions with
+  coordinates) and the three replica placements used in the paper's
+  experiments.
+* :mod:`repro.net.bandwidth` — size-dependent transfer time.
+* :mod:`repro.net.faults` — crash faults, message drops, and partitions.
+"""
+
+from repro.net.bandwidth import BandwidthModel
+from repro.net.faults import CrashSchedule, FaultPlan, PartitionPlan
+from repro.net.latency import (
+    ConstantLatency,
+    GeoLatency,
+    LatencyModel,
+    MatrixLatency,
+    UniformLatency,
+)
+from repro.net.topology import (
+    AWS_REGIONS,
+    Datacenter,
+    Topology,
+    four_global_datacenters,
+    four_us_datacenters,
+    worldwide_datacenters,
+)
+
+__all__ = [
+    "AWS_REGIONS",
+    "BandwidthModel",
+    "ConstantLatency",
+    "CrashSchedule",
+    "Datacenter",
+    "FaultPlan",
+    "GeoLatency",
+    "LatencyModel",
+    "MatrixLatency",
+    "PartitionPlan",
+    "Topology",
+    "UniformLatency",
+    "four_global_datacenters",
+    "four_us_datacenters",
+    "worldwide_datacenters",
+]

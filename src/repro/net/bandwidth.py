@@ -1,0 +1,58 @@
+"""Bandwidth model: size-dependent transfer time.
+
+The paper sweeps block payload size to control load (Section 9.2); larger
+blocks take longer to push onto the wire, which is what bends the
+latency-vs-throughput curves in Figure 6.  We charge a simple serialization
+delay ``size / rate`` on the sender side of every message plus a per-message
+overhead, with a distinct (higher) rate for messages that stay inside a
+datacenter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.topology import Topology
+
+
+class BandwidthModel:
+    """Transfer-time model for messages of a given size.
+
+    Attributes:
+        wan_bytes_per_s: throughput for inter-datacenter links (default
+            ~1 Gbit/s, the sustained rate of the paper's t3.large instances).
+        lan_bytes_per_s: throughput for intra-datacenter links.
+        per_message_overhead_s: fixed processing/serialization overhead.
+    """
+
+    def __init__(
+        self,
+        wan_bytes_per_s: float = 125_000_000.0,
+        lan_bytes_per_s: float = 600_000_000.0,
+        per_message_overhead_s: float = 0.0002,
+        topology: Optional[Topology] = None,
+    ) -> None:
+        if wan_bytes_per_s <= 0 or lan_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if per_message_overhead_s < 0:
+            raise ValueError("overhead must be non-negative")
+        self._wan = wan_bytes_per_s
+        self._lan = lan_bytes_per_s
+        self._overhead = per_message_overhead_s
+        self._topology = topology
+
+    def transfer_time(self, sender: int, receiver: int, size_bytes: int) -> float:
+        """Return the transfer time in seconds for ``size_bytes``."""
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        if self._topology is not None and (
+            sender == receiver or self._topology.colocated(sender, receiver)
+        ):
+            rate = self._lan
+        else:
+            rate = self._wan
+        return self._overhead + size_bytes / rate
+
+    def expected_transfer_time(self, size_bytes: int) -> float:
+        """Return the WAN transfer time (used for timeout derivation)."""
+        return self._overhead + size_bytes / self._wan

@@ -1,0 +1,167 @@
+"""Fault injection: crashes, message loss, and partitions.
+
+The paper's crash-fault experiment (Section 9.4, Figure 6d) kills a subset of
+replicas and measures throughput and block intervals; the protocol analysis
+also requires tolerating asynchrony (arbitrary message delay/loss before GST)
+and Byzantine replicas (handled separately in :mod:`repro.byzantine`).
+
+A :class:`FaultPlan` combines:
+
+* a :class:`CrashSchedule` — which replicas crash and when;
+* a drop probability — uniform random message loss;
+* a :class:`PartitionPlan` — time windows during which two groups of
+  replicas cannot exchange messages (used to model periods of asynchrony).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CrashSchedule:
+    """Replica crash times.
+
+    Attributes:
+        crash_times: mapping replica id → simulation time (seconds) at which
+            the replica stops sending and receiving.  A time of 0 means the
+            replica is down from the start.
+    """
+
+    crash_times: Dict[int, float] = field(default_factory=dict)
+
+    @classmethod
+    def crashed_from_start(cls, replica_ids: Iterable[int]) -> "CrashSchedule":
+        """Crash the given replicas before the experiment begins."""
+        return cls(crash_times={replica_id: 0.0 for replica_id in replica_ids})
+
+    def is_crashed(self, replica_id: int, at_time: float) -> bool:
+        """Return whether ``replica_id`` is crashed at ``at_time``."""
+        crash_time = self.crash_times.get(replica_id)
+        return crash_time is not None and at_time >= crash_time
+
+    def crashed_replicas(self, at_time: float) -> FrozenSet[int]:
+        """Return the set of replicas crashed at ``at_time``."""
+        return frozenset(
+            replica_id
+            for replica_id, crash_time in self.crash_times.items()
+            if at_time >= crash_time
+        )
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A time window during which two replica groups are disconnected."""
+
+    start: float
+    end: float
+    group_a: FrozenSet[int]
+    group_b: FrozenSet[int]
+
+    def separates(self, sender: int, receiver: int, at_time: float) -> bool:
+        """Return whether the partition blocks ``sender → receiver`` at ``at_time``."""
+        if not (self.start <= at_time < self.end):
+            return False
+        return (sender in self.group_a and receiver in self.group_b) or (
+            sender in self.group_b and receiver in self.group_a
+        )
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A collection of partition windows."""
+
+    windows: Tuple[PartitionWindow, ...] = ()
+
+    @classmethod
+    def single(cls, start: float, end: float, group_a: Sequence[int],
+               group_b: Sequence[int]) -> "PartitionPlan":
+        """Create a plan with one partition window."""
+        return cls(
+            windows=(
+                PartitionWindow(
+                    start=start,
+                    end=end,
+                    group_a=frozenset(group_a),
+                    group_b=frozenset(group_b),
+                ),
+            )
+        )
+
+    def blocks(self, sender: int, receiver: int, at_time: float) -> bool:
+        """Return whether any window blocks the message."""
+        return any(window.separates(sender, receiver, at_time) for window in self.windows)
+
+
+class FaultPlan:
+    """Combined fault injection consulted by the network on every message."""
+
+    def __init__(
+        self,
+        crash_schedule: Optional[CrashSchedule] = None,
+        drop_probability: float = 0.0,
+        partitions: Optional[PartitionPlan] = None,
+    ) -> None:
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError("drop probability must be in [0, 1)")
+        self.crash_schedule = crash_schedule or CrashSchedule()
+        self.drop_probability = drop_probability
+        self.partitions = partitions or PartitionPlan()
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """A plan with no faults."""
+        return cls()
+
+    @classmethod
+    def with_crashed(cls, replica_ids: Iterable[int]) -> "FaultPlan":
+        """A plan in which the given replicas are crashed from the start."""
+        return cls(crash_schedule=CrashSchedule.crashed_from_start(replica_ids))
+
+    def is_crashed(self, replica_id: int, at_time: float) -> bool:
+        """Return whether ``replica_id`` is crashed at ``at_time``."""
+        return self.crash_schedule.is_crashed(replica_id, at_time)
+
+    def should_drop(self, sender: int, receiver: int, at_time: float,
+                    rng: random.Random) -> bool:
+        """Decide whether a ``sender → receiver`` message at ``at_time`` is lost.
+
+        Crashed endpoints and random loss drop the message.  Partitions do
+        *not* drop — in the partially synchronous model a partition is a
+        period of asynchrony during which messages are arbitrarily delayed
+        but eventually delivered; see :meth:`partition_release`.
+        """
+        if self.is_crashed(sender, at_time) or self.is_crashed(receiver, at_time):
+            return True
+        if self.drop_probability > 0 and rng.random() < self.drop_probability:
+            return True
+        return False
+
+    def partition_release(self, sender: int, receiver: int, at_time: float) -> Optional[float]:
+        """Return when a partition-blocked message may start travelling.
+
+        ``None`` means the message is not blocked at ``at_time``.  Otherwise
+        the earliest time at which no partition window separates the two
+        replicas is returned (messages are held back, not lost, modelling a
+        period of asynchrony before GST).
+        """
+        release = at_time
+        blocked = True
+        # Windows may chain back to back; iterate until no window blocks.
+        for _ in range(len(self.partitions.windows) + 1):
+            blocked = False
+            for window in self.partitions.windows:
+                if window.separates(sender, receiver, release):
+                    release = max(release, window.end)
+                    blocked = True
+            if not blocked:
+                break
+        if release <= at_time:
+            return None
+        return release
+
+    def correct_replicas(self, replica_ids: Sequence[int], at_time: float = float("inf")) -> List[int]:
+        """Return the replicas never crashed before ``at_time``."""
+        return [r for r in replica_ids if not self.is_crashed(r, at_time)]

@@ -1,0 +1,181 @@
+"""One-way message delay models.
+
+A latency model answers "how long does a message from replica ``a`` to
+replica ``b`` take (excluding transfer time)?".  All times are in seconds.
+Models may be stochastic; they receive a :class:`random.Random` so that the
+discrete-event simulator stays deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.net.topology import Topology
+
+
+class LatencyModel(ABC):
+    """Base class for one-way delay models."""
+
+    @abstractmethod
+    def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
+        """Return the one-way propagation delay in seconds for this message."""
+
+    def expected_delay(self, sender: int, receiver: int) -> float:
+        """Return the mean one-way delay (used to derive protocol timeouts).
+
+        The default implementation samples with a fixed-seed RNG; subclasses
+        with a closed form override it.
+        """
+        probe = random.Random(0)
+        samples = [self.delay(sender, receiver, probe) for _ in range(32)]
+        return sum(samples) / len(samples)
+
+    def max_expected_delay(self, replica_ids: Sequence[int]) -> float:
+        """Return the largest pairwise expected delay among ``replica_ids``."""
+        worst = 0.0
+        for a in replica_ids:
+            for b in replica_ids:
+                if a == b:
+                    continue
+                worst = max(worst, self.expected_delay(a, b))
+        return worst
+
+
+class ConstantLatency(LatencyModel):
+    """Every link has the same fixed one-way delay."""
+
+    def __init__(self, delay_s: float, local_delay_s: float = 0.0005) -> None:
+        if delay_s < 0:
+            raise ValueError("delay must be non-negative")
+        self._delay = delay_s
+        self._local = local_delay_s
+
+    def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
+        """Return the constant delay (a small local delay for self-delivery)."""
+        if sender == receiver:
+            return self._local
+        return self._delay
+
+    def expected_delay(self, sender: int, receiver: int) -> float:
+        """Return the configured constant delay."""
+        return self._local if sender == receiver else self._delay
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from ``[low, high]`` per message."""
+
+    def __init__(self, low_s: float, high_s: float) -> None:
+        if low_s < 0 or high_s < low_s:
+            raise ValueError("need 0 <= low <= high")
+        self._low = low_s
+        self._high = high_s
+
+    def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
+        """Sample a uniform delay."""
+        if sender == receiver:
+            return self._low / 2 if self._low > 0 else 0.0005
+        return rng.uniform(self._low, self._high)
+
+    def expected_delay(self, sender: int, receiver: int) -> float:
+        """Return the mean of the uniform distribution."""
+        if sender == receiver:
+            return self._low / 2 if self._low > 0 else 0.0005
+        return (self._low + self._high) / 2
+
+
+class MatrixLatency(LatencyModel):
+    """Explicit per-pair delays, optionally with multiplicative jitter."""
+
+    def __init__(self, delays: Dict[Tuple[int, int], float], jitter: float = 0.0,
+                 default_s: float = 0.05) -> None:
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self._delays = dict(delays)
+        self._jitter = jitter
+        self._default = default_s
+
+    def _base(self, sender: int, receiver: int) -> float:
+        if sender == receiver:
+            return self._delays.get((sender, receiver), 0.0005)
+        if (sender, receiver) in self._delays:
+            return self._delays[(sender, receiver)]
+        if (receiver, sender) in self._delays:
+            return self._delays[(receiver, sender)]
+        return self._default
+
+    def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
+        """Return the matrix delay, with multiplicative jitter if configured."""
+        base = self._base(sender, receiver)
+        if self._jitter <= 0:
+            return base
+        return base * (1.0 + rng.uniform(0.0, self._jitter))
+
+    def expected_delay(self, sender: int, receiver: int) -> float:
+        """Return the matrix delay scaled by the mean jitter."""
+        return self._base(sender, receiver) * (1.0 + self._jitter / 2)
+
+
+class GeoLatency(LatencyModel):
+    """Geographic delay model derived from a :class:`Topology`.
+
+    One-way delay between replicas ``a`` and ``b``::
+
+        delay = base + distance_km / propagation_km_per_s  (+ jitter)
+
+    where ``propagation_km_per_s`` defaults to ~2/3 of the speed of light in
+    fibre plus routing inefficiency (an effective 120 km/ms is a common WAN
+    rule of thumb; we use 100 km/ms to account for non-great-circle routing).
+    Replicas in the same datacenter see a small constant local delay.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        base_s: float = 0.002,
+        km_per_s: float = 100_000.0,
+        local_delay_s: float = 0.0008,
+        jitter: float = 0.05,
+    ) -> None:
+        if km_per_s <= 0:
+            raise ValueError("km_per_s must be positive")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self._topology = topology
+        self._base = base_s
+        self._km_per_s = km_per_s
+        self._local = local_delay_s
+        self._jitter = jitter
+        self._cache: Dict[Tuple[int, int], float] = {}
+
+    @property
+    def topology(self) -> Topology:
+        """The topology this model is derived from."""
+        return self._topology
+
+    def _nominal(self, sender: int, receiver: int) -> float:
+        if sender == receiver:
+            return self._local / 2
+        key = (sender, receiver)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if self._topology.colocated(sender, receiver):
+            value = self._local
+        else:
+            distance = self._topology.distance_km(sender, receiver)
+            value = self._base + distance / self._km_per_s
+        self._cache[key] = value
+        return value
+
+    def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
+        """Return the geographic delay with multiplicative jitter."""
+        nominal = self._nominal(sender, receiver)
+        if self._jitter <= 0:
+            return nominal
+        return nominal * (1.0 + rng.uniform(0.0, self._jitter))
+
+    def expected_delay(self, sender: int, receiver: int) -> float:
+        """Return the nominal delay scaled by the mean jitter."""
+        return self._nominal(sender, receiver) * (1.0 + self._jitter / 2)

@@ -1,0 +1,162 @@
+"""Datacenters and replica placements.
+
+The paper's three testbeds (Figure 5):
+
+* Section 9.3 — 19 replicas across 4 globally distributed datacenters
+  (5 + 5 + 5 + 4), and a second run with 4 replicas, one per datacenter;
+* Section 9.4 — 19 replicas across 4 US datacenters;
+* Section 9.5 — 19 replicas across 19 worldwide datacenters.
+
+We encode a catalogue of AWS regions with approximate coordinates and build
+the same placements.  Inter-datacenter one-way delay is derived from the
+great-circle distance (see :class:`repro.net.latency.GeoLatency`), which
+reproduces the relative geometry that determines quorum formation times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class Datacenter:
+    """An AWS-style datacenter location.
+
+    Attributes:
+        name: region name, e.g. ``"us-east-1"``.
+        latitude: degrees north.
+        longitude: degrees east.
+    """
+
+    name: str
+    latitude: float
+    longitude: float
+
+
+#: Catalogue of AWS regions (approximate coordinates of the region's city).
+AWS_REGIONS: Dict[str, Datacenter] = {
+    region.name: region
+    for region in [
+        Datacenter("us-east-1", 38.9, -77.0),       # N. Virginia
+        Datacenter("us-east-2", 40.0, -83.0),       # Ohio
+        Datacenter("us-west-1", 37.4, -122.0),      # N. California
+        Datacenter("us-west-2", 45.5, -122.7),      # Oregon
+        Datacenter("ca-central-1", 45.5, -73.6),    # Montreal
+        Datacenter("sa-east-1", -23.5, -46.6),      # Sao Paulo
+        Datacenter("eu-west-1", 53.3, -6.3),        # Ireland
+        Datacenter("eu-west-2", 51.5, -0.1),        # London
+        Datacenter("eu-west-3", 48.9, 2.3),         # Paris
+        Datacenter("eu-central-1", 50.1, 8.7),      # Frankfurt
+        Datacenter("eu-north-1", 59.3, 18.1),       # Stockholm
+        Datacenter("eu-south-1", 45.5, 9.2),        # Milan
+        Datacenter("me-south-1", 26.2, 50.6),       # Bahrain
+        Datacenter("af-south-1", -33.9, 18.4),      # Cape Town
+        Datacenter("ap-south-1", 19.1, 72.9),       # Mumbai
+        Datacenter("ap-southeast-1", 1.3, 103.8),   # Singapore
+        Datacenter("ap-southeast-2", -33.9, 151.2), # Sydney
+        Datacenter("ap-northeast-1", 35.7, 139.7),  # Tokyo
+        Datacenter("ap-northeast-2", 37.6, 127.0),  # Seoul
+        Datacenter("ap-northeast-3", 34.7, 135.5),  # Osaka
+        Datacenter("ap-east-1", 22.3, 114.2),       # Hong Kong
+    ]
+}
+
+
+def great_circle_km(a: Datacenter, b: Datacenter) -> float:
+    """Return the great-circle distance between two datacenters in km."""
+    radius_km = 6371.0
+    lat_a, lon_a = math.radians(a.latitude), math.radians(a.longitude)
+    lat_b, lon_b = math.radians(b.latitude), math.radians(b.longitude)
+    d_lat = lat_b - lat_a
+    d_lon = lon_b - lon_a
+    h = math.sin(d_lat / 2) ** 2 + math.cos(lat_a) * math.cos(lat_b) * math.sin(d_lon / 2) ** 2
+    return 2 * radius_km * math.asin(min(1.0, math.sqrt(h)))
+
+
+class Topology:
+    """Assignment of replicas to datacenters.
+
+    Attributes are derived from the placement list: replica ``i`` lives in
+    ``placement[i]``.
+    """
+
+    def __init__(self, placement: Sequence[Datacenter]) -> None:
+        if not placement:
+            raise ValueError("a topology needs at least one replica")
+        self._placement: List[Datacenter] = list(placement)
+
+    @property
+    def n(self) -> int:
+        """Number of replicas."""
+        return len(self._placement)
+
+    @property
+    def replica_ids(self) -> List[int]:
+        """Replica ids ``0..n-1``."""
+        return list(range(self.n))
+
+    def datacenter(self, replica_id: int) -> Datacenter:
+        """Return the datacenter hosting ``replica_id``."""
+        return self._placement[replica_id]
+
+    def datacenters(self) -> List[Datacenter]:
+        """Return the distinct datacenters in use (stable order)."""
+        seen: Dict[str, Datacenter] = {}
+        for datacenter in self._placement:
+            seen.setdefault(datacenter.name, datacenter)
+        return list(seen.values())
+
+    def colocated(self, a: int, b: int) -> bool:
+        """Return whether two replicas share a datacenter."""
+        return self._placement[a].name == self._placement[b].name
+
+    def distance_km(self, a: int, b: int) -> float:
+        """Great-circle distance between the datacenters of two replicas."""
+        return great_circle_km(self._placement[a], self._placement[b])
+
+    def replicas_in(self, datacenter_name: str) -> List[int]:
+        """Return the replica ids hosted in ``datacenter_name``."""
+        return [i for i, dc in enumerate(self._placement) if dc.name == datacenter_name]
+
+
+#: The four globally distributed datacenters of Section 9.3.
+FOUR_GLOBAL_REGIONS = ["us-west-2", "eu-central-1", "ap-northeast-1", "ap-southeast-2"]
+
+#: The four US datacenters of Section 9.4.
+FOUR_US_REGIONS = ["us-east-1", "us-east-2", "us-west-1", "us-west-2"]
+
+#: The nineteen worldwide datacenters of Section 9.5.
+WORLDWIDE_REGIONS = [
+    "us-east-1", "us-east-2", "us-west-1", "us-west-2", "ca-central-1",
+    "sa-east-1", "eu-west-1", "eu-west-2", "eu-west-3", "eu-central-1",
+    "eu-north-1", "eu-south-1", "me-south-1", "af-south-1", "ap-south-1",
+    "ap-southeast-1", "ap-southeast-2", "ap-northeast-1", "ap-northeast-2",
+]
+
+
+def _spread(regions: Sequence[str], n: int) -> Topology:
+    """Distribute ``n`` replicas across ``regions`` as evenly as possible.
+
+    Replicas are assigned round-robin so that the first ``n mod len(regions)``
+    regions get one extra replica — matching the paper's 5/5/5/4 split for
+    n=19 over 4 datacenters.
+    """
+    placement = [AWS_REGIONS[regions[i % len(regions)]] for i in range(n)]
+    return Topology(placement)
+
+
+def four_global_datacenters(n: int = 19) -> Topology:
+    """Replicas spread over the 4 global datacenters of Section 9.3."""
+    return _spread(FOUR_GLOBAL_REGIONS, n)
+
+
+def four_us_datacenters(n: int = 19) -> Topology:
+    """Replicas spread over the 4 US datacenters of Section 9.4."""
+    return _spread(FOUR_US_REGIONS, n)
+
+
+def worldwide_datacenters(n: int = 19) -> Topology:
+    """Replicas spread over 19 worldwide datacenters (Section 9.5)."""
+    return _spread(WORLDWIDE_REGIONS, n)

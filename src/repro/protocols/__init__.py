@@ -1,0 +1,31 @@
+"""Protocol implementations: the Banyan baselines and the shared interface.
+
+* :mod:`repro.protocols.base` — the sans-io :class:`Protocol` interface and
+  :class:`ProtocolParams` shared by all protocols.
+* :mod:`repro.protocols.icc` — Internet Computer Consensus (the slow path
+  Banyan builds on; Section 4 of the paper).
+* :mod:`repro.protocols.hotstuff` — chained HotStuff with a round-robin
+  pacemaker.
+* :mod:`repro.protocols.streamlet` — Streamlet.
+* :mod:`repro.protocols.registry` — name → factory registry used by the
+  evaluation harness and the CLI.
+
+The paper's own contribution, Banyan, lives in :mod:`repro.core`.
+"""
+
+from repro.protocols.base import Protocol, ProtocolParams
+from repro.protocols.hotstuff import HotStuffReplica
+from repro.protocols.icc import ICCReplica
+from repro.protocols.registry import available_protocols, create_replicas, protocol_factory
+from repro.protocols.streamlet import StreamletReplica
+
+__all__ = [
+    "HotStuffReplica",
+    "ICCReplica",
+    "Protocol",
+    "ProtocolParams",
+    "StreamletReplica",
+    "available_protocols",
+    "create_replicas",
+    "protocol_factory",
+]

@@ -1,0 +1,504 @@
+"""Internet Computer Consensus (ICC) — the slow path Banyan builds on.
+
+This is the protocol of Section 4 of the Banyan paper (after Camenisch et
+al., PODC 2022), implemented as a sans-io state machine:
+
+* Rounds: in round ``k`` each replica may propose a block extending a
+  notarized round ``k-1`` block.  A random-beacon (here: round-robin)
+  permutation assigns each replica a rank; rank 0 is the leader.
+* Proposal delay ``Δ_prop(r) = 2Δ·r`` and notarization delay
+  ``Δ_notary(r) = 2Δ·r`` ensure that in synchronous, fault-free rounds only
+  the leader's block is notarized.
+* A block is **notarized** once ``n - f`` notarization votes are received;
+  replicas then stop notarization-voting in the round, broadcast the
+  notarization, and move to the next round.
+* A replica that notarization-voted for no other block additionally sends a
+  **finalization vote**; ``n - f`` of them explicitly finalize the block and
+  implicitly finalize its ancestors (three message delays end to end).
+
+The implementation tolerates out-of-order delivery: blocks whose parent has
+not arrived, votes for unknown blocks, and certificates for future rounds are
+buffered and re-evaluated when their prerequisites arrive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.beacon import Beacon, RoundRobinBeacon
+from repro.blocktree import BlockTree, FinalizedChain
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import sign
+from repro.protocols.base import Protocol, ProtocolParams
+from repro.runtime.context import ReplicaContext, Timer
+from repro.smr.mempool import PayloadSource
+from repro.types.blocks import Block, BlockId
+from repro.types.certificates import Finalization, Notarization
+from repro.types.messages import BlockProposal, CertificateMessage, Message, VoteMessage
+from repro.types.votes import FinalizationVote, NotarizationVote, Vote, VoteKind
+
+
+@dataclass
+class _RoundState:
+    """Per-round bookkeeping for ICC."""
+
+    t0: float = 0.0
+    entered: bool = False
+    proposed: bool = False
+    advanced: bool = False
+    finalization_vote_sent: bool = False
+    #: Block ids this replica sent a notarization vote for (the set ``N``).
+    notarization_voted: Set[BlockId] = field(default_factory=set)
+    #: Received notarization votes: block id → set of voters.
+    notarization_votes: Dict[BlockId, Set[int]] = field(default_factory=dict)
+    #: Received finalization votes: block id → set of voters.
+    finalization_votes: Dict[BlockId, Set[int]] = field(default_factory=dict)
+    #: Block ids whose notarization certificate we have broadcast already.
+    notarization_broadcast: Set[BlockId] = field(default_factory=set)
+    #: Block ids this replica relayed (tip forwarding).
+    relayed: Set[BlockId] = field(default_factory=set)
+    #: Pending notarization-delay timer target times already armed.
+    armed_vote_timers: Set[float] = field(default_factory=set)
+
+
+class ICCReplica(Protocol):
+    """A single ICC replica."""
+
+    name = "icc"
+
+    def __init__(
+        self,
+        replica_id: int,
+        params: ProtocolParams,
+        beacon: Optional[Beacon] = None,
+        payload_source: Optional[PayloadSource] = None,
+        registry: Optional[KeyRegistry] = None,
+    ) -> None:
+        super().__init__(replica_id, params, registry)
+        params.validate_resilience(require_fast_path=False)
+        self.beacon = beacon or RoundRobinBeacon(list(range(params.n)))
+        self.payload_source = payload_source or PayloadSource(params.payload_size)
+        #: Adaptive 2Δ estimator (Remark 4.2); ``None`` when delays are fixed.
+        self.delay_estimator = None
+        if params.adaptive_delays:
+            from repro.core.adaptive import AdaptiveDelayEstimator
+
+            self.delay_estimator = AdaptiveDelayEstimator(initial_delay=params.rank_delay)
+        self.tree = BlockTree()
+        self.chain = FinalizedChain()
+        self.current_round = 0
+        self.k_max = 0
+        self._rounds: Dict[int, _RoundState] = {}
+        #: Blocks waiting for their parent to arrive, keyed by parent id.
+        self._orphans: Dict[BlockId, List[Block]] = {}
+        #: Finalizations (block ids) waiting for the block/ancestors to arrive.
+        self._pending_finalizations: Dict[BlockId, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Quorums (overridden by Banyan)
+    # ------------------------------------------------------------------ #
+
+    def _proposal_delay(self, rank: int) -> float:
+        """``Δ_prop(r)``, using the adaptive estimate when enabled."""
+        if self.delay_estimator is not None:
+            return self.delay_estimator.proposal_delay(rank)
+        return self.params.proposal_delay(rank)
+
+    def _notarization_delay(self, rank: int) -> float:
+        """``Δ_notary(r)``, using the adaptive estimate when enabled."""
+        if self.delay_estimator is not None:
+            return self.delay_estimator.notarization_delay(rank)
+        return self.params.notarization_delay(rank)
+
+    @property
+    def notarization_quorum(self) -> int:
+        """Votes needed to notarize a block (``n - f`` in ICC)."""
+        return self.params.icc_quorum
+
+    @property
+    def finalization_quorum(self) -> int:
+        """Votes needed to SP-finalize a block (``n - f`` in ICC)."""
+        return self.params.icc_quorum
+
+    # ------------------------------------------------------------------ #
+    # Protocol interface
+    # ------------------------------------------------------------------ #
+
+    def on_start(self, ctx: ReplicaContext) -> None:
+        """Enter round 1 on top of the genesis block."""
+        self.current_round = 1
+        self._enter_round(ctx, 1)
+
+    def on_message(self, ctx: ReplicaContext, sender: int, message: Message) -> None:
+        """Dispatch on the message shape."""
+        if isinstance(message, BlockProposal):
+            self._handle_proposal(ctx, sender, message)
+        elif isinstance(message, VoteMessage):
+            for vote in message.votes:
+                self._handle_vote(ctx, vote)
+        elif isinstance(message, CertificateMessage):
+            self._handle_certificate(ctx, message)
+
+    def on_timer(self, ctx: ReplicaContext, timer: Timer) -> None:
+        """Handle proposal and notarization-delay timers."""
+        if timer.name == "propose":
+            round_k = timer.data
+            if round_k == self.current_round and not self._round(round_k).proposed:
+                self._propose(ctx, round_k)
+        elif timer.name == "notarize":
+            round_k = timer.data
+            self._try_notarization_votes(ctx, round_k)
+
+    # ------------------------------------------------------------------ #
+    # Round lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _round(self, round_k: int) -> _RoundState:
+        state = self._rounds.get(round_k)
+        if state is None:
+            state = _RoundState()
+            self._rounds[round_k] = state
+        return state
+
+    def _enter_round(self, ctx: ReplicaContext, round_k: int) -> None:
+        state = self._round(round_k)
+        state.t0 = ctx.now()
+        state.entered = True
+        rank = self.beacon.rank(round_k, self.replica_id)
+        if rank == 0:
+            self._propose(ctx, round_k)
+        else:
+            ctx.set_timer(self._proposal_delay(rank), "propose", round_k)
+        # Blocks and votes for this round may have arrived before we entered.
+        self._try_notarization_votes(ctx, round_k)
+        self._try_notarizations(ctx, round_k)
+        self._try_advance(ctx, round_k)
+
+    def _parent_candidates(self, round_k: int) -> List[Block]:
+        """Blocks at height ``round_k - 1`` that are safe to extend."""
+        return self.tree.notarized_at_round(round_k - 1)
+
+    def _propose(self, ctx: ReplicaContext, round_k: int) -> None:
+        state = self._round(round_k)
+        if state.proposed or state.advanced:
+            return
+        candidates = self._parent_candidates(round_k)
+        if not candidates:
+            return
+        parent = min(candidates, key=lambda b: (b.rank, b.id))
+        payload, logical_size = self.payload_source.payload_for(round_k, self.replica_id)
+        rank = self.beacon.rank(round_k, self.replica_id)
+        block = Block(
+            round=round_k,
+            proposer=self.replica_id,
+            rank=rank,
+            parent_id=parent.id,
+            payload=payload,
+            payload_size=logical_size,
+        )
+        state.proposed = True
+        self.proposal_times[block.id] = ctx.now()
+        proposal = self._make_proposal(round_k, block, parent)
+        ctx.broadcast(proposal)
+        self._after_propose(ctx, round_k, block)
+
+    def _make_proposal(self, round_k: int, block: Block, parent: Block) -> BlockProposal:
+        """Build the proposal message for our own block.
+
+        ICC attaches the parent's notarization; Banyan additionally attaches
+        the parent's unlock proof and, for rank-0 proposals, the proposer's
+        own fast vote (Addition 2).
+        """
+        return BlockProposal(
+            block=block,
+            parent_notarization=self._notarization_for(parent),
+        )
+
+    def _after_propose(self, ctx: ReplicaContext, round_k: int, block: Block) -> None:
+        """Hook invoked after broadcasting our own proposal (no-op for ICC)."""
+
+    def _notarization_for(self, block: Block) -> Optional[Notarization]:
+        """Build a notarization certificate for ``block`` from received votes."""
+        if block.is_genesis() or not self.tree.is_notarized(block.id):
+            return None
+        voters = self._round(block.round).notarization_votes.get(block.id, set())
+        if not voters:
+            return None
+        return Notarization(round=block.round, block_id=block.id, voters=frozenset(voters))
+
+    # ------------------------------------------------------------------ #
+    # Proposal handling
+    # ------------------------------------------------------------------ #
+
+    def _handle_proposal(self, ctx: ReplicaContext, sender: int, proposal: BlockProposal) -> None:
+        block = proposal.block
+        if block.round <= 0:
+            return
+        if block.rank != self.beacon.rank(block.round, block.proposer):
+            return  # rank does not match the beacon permutation — invalid
+        self._absorb_parent_certificates(ctx, proposal)
+        self._ingest_block(ctx, block)
+
+    def _absorb_parent_certificates(self, ctx: ReplicaContext, proposal: BlockProposal) -> None:
+        notarization = proposal.parent_notarization
+        if notarization is not None and notarization.verify(None, self.notarization_quorum):
+            self._register_notarization(ctx, notarization)
+
+    def _ingest_block(self, ctx: ReplicaContext, block: Block) -> None:
+        if block.id in self.tree:
+            return
+        if block.parent_id is not None and block.parent_id not in self.tree:
+            self._orphans.setdefault(block.parent_id, []).append(block)
+            return
+        self.tree.add_block(block)
+        self._after_block_added(ctx, block)
+        # Re-ingest any orphans waiting for this block.
+        for orphan in self._orphans.pop(block.id, []):
+            self._ingest_block(ctx, orphan)
+
+    def _after_block_added(self, ctx: ReplicaContext, block: Block) -> None:
+        round_k = block.round
+        self._try_notarization_votes(ctx, round_k)
+        self._try_notarizations(ctx, round_k)
+        self._try_pending_finalizations(ctx)
+        self._try_advance(ctx, round_k)
+
+    # ------------------------------------------------------------------ #
+    # Voting
+    # ------------------------------------------------------------------ #
+
+    def _is_valid(self, block: Block) -> bool:
+        """Validity condition for voting/extension (parent notarized)."""
+        if block.parent_id is None:
+            return block.is_genesis()
+        parent = self.tree.get(block.parent_id)
+        if parent is None or parent.round != block.round - 1:
+            return False
+        return self.tree.is_notarized(parent.id)
+
+    def _valid_blocks(self, round_k: int) -> List[Block]:
+        return [b for b in self.tree.blocks_at_round(round_k) if self._is_valid(b)]
+
+    def _should_stop_voting(self, round_k: int) -> bool:
+        """ICC stops notarization-voting once the round has a notarized block."""
+        return self._round(round_k).advanced
+
+    def _try_notarization_votes(self, ctx: ReplicaContext, round_k: int) -> None:
+        state = self._round(round_k)
+        if not state.entered or round_k != self.current_round or self._should_stop_voting(round_k):
+            return
+        valid_blocks = self._valid_blocks(round_k)
+        if not valid_blocks:
+            return
+        min_rank = min(b.rank for b in valid_blocks)
+        now = ctx.now()
+        for block in valid_blocks:
+            if block.rank != min_rank or block.id in state.notarization_voted:
+                continue
+            vote_time = state.t0 + self._notarization_delay(block.rank)
+            if now + 1e-12 < vote_time:
+                if vote_time not in state.armed_vote_timers:
+                    state.armed_vote_timers.add(vote_time)
+                    ctx.set_timer(vote_time - now, "notarize", round_k)
+                continue
+            self._cast_votes_for(ctx, round_k, block)
+
+    def _cast_votes_for(self, ctx: ReplicaContext, round_k: int, block: Block) -> None:
+        """Relay the block (tip forwarding) and broadcast a notarization vote."""
+        state = self._round(round_k)
+        state.notarization_voted.add(block.id)
+        if (
+            self.params.relay_proposals
+            and block.proposer != self.replica_id
+            and block.id not in state.relayed
+        ):
+            state.relayed.add(block.id)
+            ctx.broadcast(self._relay_message(round_k, block))
+        votes = self._votes_for_block(round_k, block)
+        ctx.broadcast(VoteMessage(votes=tuple(votes), sender=self.replica_id))
+        # Casting a vote can satisfy the round-advance condition (e.g. Banyan's
+        # fast-vote requirement) when the block was already notarized.
+        self._try_advance(ctx, round_k)
+
+    def _relay_message(self, round_k: int, block: Block) -> BlockProposal:
+        """The message used to forward someone else's block to the others."""
+        parent = self.tree.get(block.parent_id) if block.parent_id else None
+        return BlockProposal(
+            block=block,
+            parent_notarization=self._notarization_for(parent) if parent else None,
+            relayed_by=self.replica_id,
+        )
+
+    def _votes_for_block(self, round_k: int, block: Block) -> List[Vote]:
+        """The votes broadcast when notarization-voting for ``block``.
+
+        ICC sends only the notarization vote; Banyan overrides this to attach
+        a fast vote the first time in a round (Addition 3).
+        """
+        return [self._make_vote(VoteKind.NOTARIZATION, round_k, block.id)]
+
+    def _make_vote(self, kind: VoteKind, round_k: int, block_id: BlockId) -> Vote:
+        signature = None
+        if self.params.sign_messages and self.registry is not None:
+            signature = sign((kind.value, round_k, block_id), self.replica_id, self.registry)
+        if kind is VoteKind.NOTARIZATION:
+            return NotarizationVote(
+                round=round_k, block_id=block_id, voter=self.replica_id, signature=signature
+            )
+        if kind is VoteKind.FINALIZATION:
+            return FinalizationVote(
+                round=round_k, block_id=block_id, voter=self.replica_id, signature=signature
+            )
+        raise ValueError(f"unsupported vote kind for ICC: {kind}")
+
+    def _handle_vote(self, ctx: ReplicaContext, vote: Vote) -> None:
+        state = self._round(vote.round)
+        if vote.kind is VoteKind.NOTARIZATION:
+            state.notarization_votes.setdefault(vote.block_id, set()).add(vote.voter)
+            self._try_notarizations(ctx, vote.round)
+        elif vote.kind is VoteKind.FINALIZATION:
+            state.finalization_votes.setdefault(vote.block_id, set()).add(vote.voter)
+            self._try_slow_finalization(ctx, vote.round, vote.block_id)
+        elif vote.kind is VoteKind.FAST:
+            self._handle_fast_vote(ctx, vote)
+
+    def _handle_fast_vote(self, ctx: ReplicaContext, vote: Vote) -> None:
+        """ICC has no fast path; fast votes are ignored (Banyan overrides)."""
+
+    # ------------------------------------------------------------------ #
+    # Notarization
+    # ------------------------------------------------------------------ #
+
+    def _try_notarizations(self, ctx: ReplicaContext, round_k: int) -> None:
+        state = self._round(round_k)
+        for block_id, voters in list(state.notarization_votes.items()):
+            if len(voters) < self.notarization_quorum:
+                continue
+            if block_id not in self.tree or self.tree.is_notarized(block_id):
+                continue
+            self.tree.mark_notarized(block_id)
+            self._on_block_notarized(ctx, round_k, block_id)
+
+    def _on_block_notarized(self, ctx: ReplicaContext, round_k: int, block_id: BlockId) -> None:
+        self._try_advance(ctx, round_k)
+        # Children of this block may now be valid to vote for.
+        self._try_notarization_votes(ctx, round_k + 1)
+
+    def _register_notarization(self, ctx: ReplicaContext, notarization: Notarization) -> None:
+        state = self._round(notarization.round)
+        voters = state.notarization_votes.setdefault(notarization.block_id, set())
+        voters |= notarization.voters
+        self._try_notarizations(ctx, notarization.round)
+
+    # ------------------------------------------------------------------ #
+    # Round advancement
+    # ------------------------------------------------------------------ #
+
+    def _advance_candidates(self, round_k: int) -> List[Block]:
+        """Blocks that allow the replica to move to the next round."""
+        return self.tree.notarized_at_round(round_k)
+
+    def _can_advance(self, round_k: int) -> bool:
+        return bool(self._advance_candidates(round_k))
+
+    def _try_advance(self, ctx: ReplicaContext, round_k: int) -> None:
+        if round_k != self.current_round:
+            return
+        state = self._round(round_k)
+        if state.advanced or not state.entered or not self._can_advance(round_k):
+            return
+        block = min(self._advance_candidates(round_k), key=lambda b: (b.rank, b.id))
+        state.advanced = True
+        if self.delay_estimator is not None:
+            # Remark 4.2: learn the delay bound from how long rounds actually
+            # take.  A round won by a non-leader block means the leader was
+            # slow or faulty, so the estimate backs off instead.
+            if block.rank == 0:
+                self.delay_estimator.observe_round(ctx.now() - state.t0)
+            else:
+                self.delay_estimator.observe_timeout()
+        self._broadcast_round_certificates(ctx, round_k, block)
+        if not state.finalization_vote_sent and state.notarization_voted <= {block.id}:
+            state.finalization_vote_sent = True
+            vote = self._make_vote(VoteKind.FINALIZATION, round_k, block.id)
+            ctx.broadcast(VoteMessage(votes=(vote,), sender=self.replica_id))
+        self.current_round = round_k + 1
+        self._enter_round(ctx, round_k + 1)
+
+    def _broadcast_round_certificates(self, ctx: ReplicaContext, round_k: int, block: Block) -> None:
+        """Broadcast the notarization of the block we advance with."""
+        state = self._round(round_k)
+        if block.id in state.notarization_broadcast:
+            return
+        state.notarization_broadcast.add(block.id)
+        notarization = self._notarization_for(block)
+        if notarization is not None:
+            ctx.broadcast(CertificateMessage(certificate=notarization, sender=self.replica_id))
+
+    # ------------------------------------------------------------------ #
+    # Finalization
+    # ------------------------------------------------------------------ #
+
+    def _try_slow_finalization(self, ctx: ReplicaContext, round_k: int, block_id: BlockId) -> None:
+        state = self._round(round_k)
+        voters = state.finalization_votes.get(block_id, set())
+        if len(voters) < self.finalization_quorum:
+            return
+        self._finalize(ctx, round_k, block_id, kind="slow")
+
+    def _handle_certificate(self, ctx: ReplicaContext, message: CertificateMessage) -> None:
+        certificate = message.certificate
+        if certificate is None:
+            return
+        if isinstance(certificate, Notarization):
+            if certificate.verify(None, self.notarization_quorum):
+                self._register_notarization(ctx, certificate)
+        elif isinstance(certificate, Finalization):
+            if certificate.verify(None, self.finalization_quorum):
+                state = self._round(certificate.round)
+                voters = state.finalization_votes.setdefault(certificate.block_id, set())
+                voters |= certificate.voters
+                self._finalize(ctx, certificate.round, certificate.block_id, kind="slow")
+
+    def _finalize(self, ctx: ReplicaContext, round_k: int, block_id: BlockId, kind: str) -> None:
+        """Explicitly finalize ``block_id`` and output the chain up to it."""
+        if round_k <= self.k_max:
+            return
+        if block_id not in self.tree:
+            self._pending_finalizations[block_id] = kind
+            return
+        block = self.tree.block(block_id)
+        try:
+            path = self.tree.chain_to(block_id)
+        except Exception:
+            self._pending_finalizations[block_id] = kind
+            return
+        self._pending_finalizations.pop(block_id, None)
+        self._broadcast_finalization(ctx, round_k, block_id, kind)
+        segment = [b for b in path if b.round > self.k_max]
+        for b in segment:
+            self.tree.mark_notarized(b.id)
+            self.tree.mark_finalized(b.id)
+        appended = self.chain.append_segment(segment)
+        if appended:
+            ctx.commit(appended, finalization_kind=kind)
+        self.k_max = block.round
+        # Explicit finalization of a later round also lets us advance if the
+        # slow path stalled (catch-up after asynchrony).
+        self._try_advance(ctx, self.current_round)
+
+    def _broadcast_finalization(self, ctx: ReplicaContext, round_k: int,
+                                block_id: BlockId, kind: str) -> None:
+        state = self._round(round_k)
+        voters = state.finalization_votes.get(block_id, set())
+        if not voters:
+            return
+        finalization = Finalization(round=round_k, block_id=block_id, voters=frozenset(voters))
+        ctx.broadcast(CertificateMessage(certificate=finalization, sender=self.replica_id))
+
+    def _try_pending_finalizations(self, ctx: ReplicaContext) -> None:
+        for block_id, kind in list(self._pending_finalizations.items()):
+            block = self.tree.get(block_id)
+            if block is not None:
+                self._finalize(ctx, block.round, block_id, kind)

@@ -1,0 +1,113 @@
+"""Protocol registry: build a full replica set for a named protocol.
+
+The evaluation harness, benchmarks, and CLI select protocols by name
+(``"banyan"``, ``"icc"``, ``"hotstuff"``, ``"streamlet"``).  This module maps
+names to factories and builds the ``{replica_id: Protocol}`` dictionary the
+runtime expects, wiring in a shared beacon, key registry, and payload source.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.beacon import Beacon, RoundRobinBeacon
+from repro.crypto.keys import KeyRegistry
+from repro.protocols.base import Protocol, ProtocolParams
+from repro.protocols.hotstuff import HotStuffReplica
+from repro.protocols.icc import ICCReplica
+from repro.protocols.streamlet import StreamletReplica
+from repro.smr.mempool import PayloadSource
+
+#: A protocol factory builds one replica.
+ProtocolFactory = Callable[..., Protocol]
+
+_REGISTRY: Dict[str, ProtocolFactory] = {
+    "icc": ICCReplica,
+    "hotstuff": HotStuffReplica,
+    "streamlet": StreamletReplica,
+}
+
+
+def _ensure_core_registered() -> None:
+    """Register the Banyan protocol lazily.
+
+    ``repro.core`` imports the protocol base classes from this package, so
+    importing it at module load time would be circular; the registry resolves
+    it on first use instead.
+    """
+    if "banyan" not in _REGISTRY:
+        from repro.core.banyan import BanyanReplica
+
+        _REGISTRY["banyan"] = BanyanReplica
+
+
+def available_protocols() -> List[str]:
+    """Return the names of all registered protocols."""
+    _ensure_core_registered()
+    return sorted(_REGISTRY)
+
+
+def protocol_factory(name: str) -> ProtocolFactory:
+    """Return the factory for ``name``.
+
+    Raises:
+        KeyError: if the protocol is unknown.
+    """
+    _ensure_core_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown protocol {name!r}; available: {', '.join(available_protocols())}"
+        ) from exc
+
+
+def register_protocol(name: str, factory: ProtocolFactory) -> None:
+    """Register an additional protocol factory (e.g. a Byzantine variant)."""
+    _REGISTRY[name] = factory
+
+
+def create_replicas(
+    name: str,
+    params: ProtocolParams,
+    beacon: Optional[Beacon] = None,
+    payload_source: Optional[PayloadSource] = None,
+    registry: Optional[KeyRegistry] = None,
+    replica_ids: Optional[Iterable[int]] = None,
+    overrides: Optional[Dict[int, ProtocolFactory]] = None,
+) -> Dict[int, Protocol]:
+    """Build a full replica set for protocol ``name``.
+
+    Args:
+        name: registered protocol name.
+        params: shared protocol parameters.
+        beacon: leader-rotation beacon (defaults to round-robin over
+            ``0..n-1``).
+        payload_source: workload payload source (defaults to the parameter's
+            payload size).
+        registry: PKI; created automatically when ``params.sign_messages``.
+        replica_ids: ids to instantiate (defaults to ``0..n-1``).
+        overrides: per-replica factory overrides, used to plant Byzantine or
+            otherwise misbehaving replicas.
+
+    Returns:
+        Mapping replica id → protocol instance, ready for a runtime.
+    """
+    ids = list(replica_ids) if replica_ids is not None else list(range(params.n))
+    beacon = beacon or RoundRobinBeacon(ids)
+    payload_source = payload_source or PayloadSource(params.payload_size)
+    if registry is None and params.sign_messages:
+        registry = KeyRegistry.for_replicas(params.n)
+    factory = protocol_factory(name)
+    overrides = overrides or {}
+    replicas: Dict[int, Protocol] = {}
+    for replica_id in ids:
+        chosen = overrides.get(replica_id, factory)
+        replicas[replica_id] = chosen(
+            replica_id=replica_id,
+            params=params,
+            beacon=beacon,
+            payload_source=payload_source,
+            registry=registry,
+        )
+    return replicas

@@ -1,0 +1,315 @@
+"""Deterministic discrete-event simulator.
+
+The simulator drives a set of protocol replicas over the network substrate
+(:mod:`repro.net`).  It owns a single priority queue of events (message
+deliveries and timer firings) keyed by ``(time, sequence)`` — the sequence
+number gives a stable, deterministic tie-break, so a given configuration and
+seed always produces the same execution.
+
+Message timing: when replica ``a`` sends a message of ``wire_size`` bytes to
+replica ``b`` at time ``t``, it is delivered at::
+
+    t + transfer_time(a, b, size) + propagation_delay(a, b)
+
+unless the fault plan drops it.  Crashed replicas neither send nor receive,
+and their pending timers never fire.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.net.bandwidth import BandwidthModel
+from repro.net.faults import FaultPlan
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.runtime.context import ReplicaContext, Timer
+from repro.types.blocks import Block
+from repro.types.messages import Message
+
+
+@dataclass
+class NetworkConfig:
+    """Bundle of network substrate parameters for a simulation.
+
+    Attributes:
+        latency: one-way propagation-delay model.
+        bandwidth: size-dependent transfer-time model.
+        faults: crash / drop / partition plan.
+        seed: seed for all stochastic choices (jitter, drops).
+    """
+
+    latency: LatencyModel = field(default_factory=lambda: ConstantLatency(0.05))
+    bandwidth: BandwidthModel = field(default_factory=BandwidthModel)
+    faults: FaultPlan = field(default_factory=FaultPlan.none)
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """A block committed (finalized and output) by a replica.
+
+    Attributes:
+        replica_id: the committing replica.
+        block: the finalized block.
+        commit_time: simulation time of the commit.
+        finalization_kind: ``"fast"`` or ``"slow"``.
+    """
+
+    replica_id: int
+    block: Block
+    commit_time: float
+    finalization_kind: str
+
+
+class _Event:
+    """Internal event: either a message delivery or a timer firing."""
+
+    __slots__ = ("time", "seq", "kind", "target", "payload")
+
+    def __init__(self, time: float, seq: int, kind: str, target: int, payload: Any) -> None:
+        self.time = time
+        self.seq = seq
+        self.kind = kind
+        self.target = target
+        self.payload = payload
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class _SimContext(ReplicaContext):
+    """Per-replica context implementation backed by the simulator."""
+
+    def __init__(self, simulation: "Simulation", replica_id: int) -> None:
+        self._simulation = simulation
+        self._replica_id = replica_id
+
+    @property
+    def replica_id(self) -> int:
+        return self._replica_id
+
+    @property
+    def replica_ids(self) -> list:
+        return list(self._simulation.replica_ids)
+
+    def now(self) -> float:
+        return self._simulation.now
+
+    def send(self, receiver: int, message: Message) -> None:
+        self._simulation._enqueue_message(self._replica_id, receiver, message)
+
+    def broadcast(self, message: Message) -> None:
+        for receiver in self._simulation.replica_ids:
+            self._simulation._enqueue_message(self._replica_id, receiver, message)
+
+    def set_timer(self, delay: float, name: str, data: Any = None) -> int:
+        return self._simulation._arm_timer(self._replica_id, delay, name, data)
+
+    def cancel_timer(self, timer_id: int) -> None:
+        self._simulation._cancel_timer(timer_id)
+
+    def commit(self, blocks, finalization_kind: str = "slow") -> None:
+        self._simulation._record_commit(self._replica_id, blocks, finalization_kind)
+
+
+class Simulation:
+    """Discrete-event simulation of a set of protocol replicas.
+
+    Args:
+        protocols: mapping replica id → protocol instance (anything matching
+            :class:`repro.protocols.base.Protocol`).
+        network: the network substrate configuration.
+
+    Usage::
+
+        sim = Simulation(protocols, NetworkConfig(latency=GeoLatency(topology)))
+        sim.run(until=60.0)
+        commits = sim.commits_for(replica_id=0)
+    """
+
+    def __init__(self, protocols: Dict[int, Any], network: Optional[NetworkConfig] = None) -> None:
+        if not protocols:
+            raise ValueError("simulation needs at least one replica")
+        self._protocols = dict(protocols)
+        self.replica_ids: List[int] = sorted(self._protocols)
+        self.network = network or NetworkConfig()
+        self._rng = random.Random(self.network.seed)
+        self.now: float = 0.0
+        self._queue: List[_Event] = []
+        self._seq = itertools.count()
+        self._timer_ids = itertools.count(1)
+        self._cancelled_timers: set = set()
+        self._contexts: Dict[int, _SimContext] = {
+            replica_id: _SimContext(self, replica_id) for replica_id in self.replica_ids
+        }
+        self._commits: Dict[int, List[CommitRecord]] = {r: [] for r in self.replica_ids}
+        self._commit_listeners: List[Callable[[CommitRecord], None]] = []
+        self._messages_sent = 0
+        self._messages_delivered = 0
+        self._messages_dropped = 0
+        self._bytes_sent = 0
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+
+    @property
+    def messages_sent(self) -> int:
+        """Total messages handed to the network."""
+        return self._messages_sent
+
+    @property
+    def messages_delivered(self) -> int:
+        """Total messages delivered to replicas."""
+        return self._messages_delivered
+
+    @property
+    def messages_dropped(self) -> int:
+        """Total messages lost to crashes, partitions, or random drops."""
+        return self._messages_dropped
+
+    @property
+    def bytes_sent(self) -> int:
+        """Total logical bytes handed to the network."""
+        return self._bytes_sent
+
+    def protocol(self, replica_id: int) -> Any:
+        """Return the protocol instance of ``replica_id``."""
+        return self._protocols[replica_id]
+
+    def commits_for(self, replica_id: int) -> List[CommitRecord]:
+        """Return the commit records of ``replica_id`` in commit order."""
+        return list(self._commits[replica_id])
+
+    def all_commits(self) -> Dict[int, List[CommitRecord]]:
+        """Return commit records for every replica."""
+        return {replica_id: list(records) for replica_id, records in self._commits.items()}
+
+    def add_commit_listener(self, listener: Callable[[CommitRecord], None]) -> None:
+        """Register a callback invoked on every commit record."""
+        self._commit_listeners.append(listener)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Invoke ``on_start`` on every (non-crashed) replica at time 0."""
+        if self._started:
+            return
+        self._started = True
+        for replica_id in self.replica_ids:
+            if self.network.faults.is_crashed(replica_id, self.now):
+                continue
+            self._protocols[replica_id].on_start(self._contexts[replica_id])
+
+    def step(self) -> bool:
+        """Process the next event; return ``False`` if the queue is empty."""
+        if not self._started:
+            self.start()
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.kind == "timer" and event.payload.timer_id in self._cancelled_timers:
+                self._cancelled_timers.discard(event.payload.timer_id)
+                continue
+            self.now = max(self.now, event.time)
+            self._dispatch(event)
+            return True
+        return False
+
+    def run(self, until: float, max_events: Optional[int] = None) -> None:
+        """Run the simulation until simulated time ``until`` (or event budget).
+
+        Events scheduled after ``until`` remain queued; the clock is advanced
+        to exactly ``until`` at the end so measurements have a common horizon.
+        """
+        if not self._started:
+            self.start()
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                break
+            if self._queue[0].time > until:
+                break
+            self.step()
+            processed += 1
+        self.now = max(self.now, until)
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> None:
+        """Run until no events remain (bounded by ``max_events``)."""
+        if not self._started:
+            self.start()
+        processed = 0
+        while self._queue and processed < max_events:
+            self.step()
+            processed += 1
+
+    # ------------------------------------------------------------------ #
+    # Internals used by the per-replica contexts
+    # ------------------------------------------------------------------ #
+
+    def _enqueue_message(self, sender: int, receiver: int, message: Message) -> None:
+        self._messages_sent += 1
+        size = getattr(message, "wire_size", 0)
+        self._bytes_sent += size
+        faults = self.network.faults
+        if faults.should_drop(sender, receiver, self.now, self._rng):
+            self._messages_dropped += 1
+            return
+        send_time = self.now
+        release = faults.partition_release(sender, receiver, self.now)
+        if release is not None:
+            # Partition = period of asynchrony: the message is held back and
+            # starts travelling once the partition heals.
+            send_time = release
+        transfer = self.network.bandwidth.transfer_time(sender, receiver, size)
+        propagation = self.network.latency.delay(sender, receiver, self._rng)
+        deliver_at = send_time + transfer + propagation
+        event = _Event(deliver_at, next(self._seq), "message", receiver, (sender, message))
+        heapq.heappush(self._queue, event)
+
+    def _arm_timer(self, replica_id: int, delay: float, name: str, data: Any) -> int:
+        if delay < 0:
+            raise ValueError("timer delay must be non-negative")
+        timer_id = next(self._timer_ids)
+        timer = Timer(name=name, fire_time=self.now + delay, data=data, timer_id=timer_id)
+        event = _Event(timer.fire_time, next(self._seq), "timer", replica_id, timer)
+        heapq.heappush(self._queue, event)
+        return timer_id
+
+    def _cancel_timer(self, timer_id: int) -> None:
+        self._cancelled_timers.add(timer_id)
+
+    def _record_commit(self, replica_id: int, blocks: Iterable[Block], kind: str) -> None:
+        for block in blocks:
+            record = CommitRecord(
+                replica_id=replica_id,
+                block=block,
+                commit_time=self.now,
+                finalization_kind=kind,
+            )
+            self._commits[replica_id].append(record)
+            for listener in self._commit_listeners:
+                listener(record)
+
+    def _dispatch(self, event: _Event) -> None:
+        replica_id = event.target
+        if self.network.faults.is_crashed(replica_id, self.now):
+            if event.kind == "message":
+                self._messages_dropped += 1
+            return
+        protocol = self._protocols[replica_id]
+        context = self._contexts[replica_id]
+        if event.kind == "message":
+            sender, message = event.payload
+            self._messages_delivered += 1
+            protocol.on_message(context, sender, message)
+        elif event.kind == "timer":
+            protocol.on_timer(context, event.payload)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown event kind {event.kind!r}")

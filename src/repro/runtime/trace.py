@@ -1,0 +1,177 @@
+"""Execution tracing: structured per-replica event logs.
+
+Debugging a BFT protocol usually means answering "what did replica 7 know at
+t=3.2s, and why did it vote for that block?".  :class:`ProtocolTracer` wraps
+any protocol object and records a structured event for every callback
+(start, message in, timer) and every action taken through the context
+(send, broadcast, timer armed, commit), with timestamps.  Traces can be
+filtered, summarised, and rendered as a timeline.
+
+The tracer is pure decoration: it changes neither timing nor behaviour, so a
+traced replica can be dropped into any simulation (or the asyncio runtime)
+in place of the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.protocols.base import Protocol
+from repro.runtime.context import ReplicaContext, Timer
+from repro.types.messages import Message
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    Attributes:
+        time: simulation / model time of the event.
+        replica_id: the replica the event belongs to.
+        kind: event kind, one of ``start``, ``recv``, ``timer``, ``send``,
+            ``broadcast``, ``arm-timer``, ``commit``.
+        detail: short human-readable description.
+        data: optional structured payload (message type, block round, ...).
+    """
+
+    time: float
+    replica_id: int
+    kind: str
+    detail: str
+    data: Optional[Dict[str, Any]] = None
+
+
+class TraceLog:
+    """An append-only list of :class:`TraceEvent` with query helpers."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def append(self, event: TraceEvent) -> None:
+        """Record an event."""
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def events(self, kind: Optional[str] = None,
+               replica_id: Optional[int] = None) -> List[TraceEvent]:
+        """Return events, optionally filtered by kind and/or replica."""
+        return [
+            event
+            for event in self._events
+            if (kind is None or event.kind == kind)
+            and (replica_id is None or event.replica_id == replica_id)
+        ]
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Return how many events of each kind were recorded."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def between(self, start: float, end: float) -> List[TraceEvent]:
+        """Return events with ``start <= time < end``."""
+        return [event for event in self._events if start <= event.time < end]
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Render the trace as a plain-text timeline (one line per event)."""
+        lines = []
+        for event in self._events[: limit if limit is not None else len(self._events)]:
+            lines.append(
+                f"{event.time:10.4f}s  r{event.replica_id:<3d} {event.kind:<10s} {event.detail}"
+            )
+        return "\n".join(lines)
+
+
+class _TracingContext(ReplicaContext):
+    """Context wrapper recording every action the protocol takes."""
+
+    def __init__(self, inner: ReplicaContext, log: TraceLog, replica_id: int) -> None:
+        self._inner = inner
+        self._log = log
+        self._replica_id = replica_id
+
+    @property
+    def replica_id(self) -> int:
+        return self._inner.replica_id
+
+    @property
+    def replica_ids(self) -> list:
+        return self._inner.replica_ids
+
+    def now(self) -> float:
+        return self._inner.now()
+
+    def _record(self, kind: str, detail: str, data: Optional[Dict[str, Any]] = None) -> None:
+        self._log.append(
+            TraceEvent(time=self._inner.now(), replica_id=self._replica_id, kind=kind,
+                       detail=detail, data=data)
+        )
+
+    def send(self, receiver: int, message: Message) -> None:
+        self._record("send", f"{type(message).__name__} -> r{receiver}")
+        self._inner.send(receiver, message)
+
+    def broadcast(self, message: Message) -> None:
+        self._record("broadcast", type(message).__name__)
+        self._inner.broadcast(message)
+
+    def set_timer(self, delay: float, name: str, data: Any = None) -> int:
+        self._record("arm-timer", f"{name} in {delay:.3f}s")
+        return self._inner.set_timer(delay, name, data)
+
+    def cancel_timer(self, timer_id: int) -> None:
+        self._inner.cancel_timer(timer_id)
+
+    def commit(self, blocks, finalization_kind: str = "slow") -> None:
+        blocks = list(blocks)
+        rounds = [block.round for block in blocks]
+        self._record("commit", f"{len(blocks)} block(s) rounds {rounds} ({finalization_kind})",
+                     data={"rounds": rounds, "kind": finalization_kind})
+        self._inner.commit(blocks, finalization_kind=finalization_kind)
+
+
+class ProtocolTracer(Protocol):
+    """Wraps a protocol and records a :class:`TraceLog` of its execution."""
+
+    name = "traced"
+
+    def __init__(self, inner: Protocol, log: Optional[TraceLog] = None) -> None:
+        super().__init__(inner.replica_id, inner.params, inner.registry)
+        self.inner = inner
+        self.log = log if log is not None else TraceLog()
+        self.proposal_times = inner.proposal_times
+        self.name = f"traced-{inner.name}"
+
+    def _record(self, ctx: ReplicaContext, kind: str, detail: str) -> None:
+        self.log.append(
+            TraceEvent(time=ctx.now(), replica_id=self.replica_id, kind=kind, detail=detail)
+        )
+
+    def on_start(self, ctx: ReplicaContext) -> None:
+        """Record the start event and forward it."""
+        self._record(ctx, "start", self.inner.name)
+        self.inner.on_start(_TracingContext(ctx, self.log, self.replica_id))
+
+    def on_message(self, ctx: ReplicaContext, sender: int, message: Message) -> None:
+        """Record the delivery and forward it."""
+        self._record(ctx, "recv", f"{type(message).__name__} <- r{sender}")
+        self.inner.on_message(_TracingContext(ctx, self.log, self.replica_id), sender, message)
+
+    def on_timer(self, ctx: ReplicaContext, timer: Timer) -> None:
+        """Record the timer firing and forward it."""
+        self._record(ctx, "timer", timer.name)
+        self.inner.on_timer(_TracingContext(ctx, self.log, self.replica_id), timer)
+
+
+def trace_replicas(replicas: Dict[int, Protocol],
+                   shared_log: Optional[TraceLog] = None) -> Dict[int, ProtocolTracer]:
+    """Wrap every replica in ``replicas`` with a tracer sharing one log."""
+    log = shared_log if shared_log is not None else TraceLog()
+    return {replica_id: ProtocolTracer(protocol, log) for replica_id, protocol in replicas.items()}

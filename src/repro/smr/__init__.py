@@ -1,0 +1,30 @@
+"""SMR harness: payload sources, ledgers, and measurement.
+
+The protocols order opaque payloads; this package provides what surrounds
+them in an SMR deployment:
+
+* :mod:`repro.smr.mempool` — payload sources (the paper's workload is a
+  leader-generated random bit vector of configurable size) and a simple
+  transaction mempool for the examples.
+* :mod:`repro.smr.ledger` — a committed ledger applying finalized payloads
+  to a deterministic state machine (key-value store), used by the examples
+  to show end-to-end replication.
+* :mod:`repro.smr.metrics` — latency / throughput / block-interval
+  collection matching the paper's measurement methodology (Section 9.2).
+"""
+
+from repro.smr.ledger import KeyValueLedger, Transaction, decode_transactions, encode_transactions
+from repro.smr.mempool import Mempool, PayloadSource
+from repro.smr.metrics import LatencySample, MetricsCollector, RunMetrics
+
+__all__ = [
+    "KeyValueLedger",
+    "LatencySample",
+    "Mempool",
+    "MetricsCollector",
+    "PayloadSource",
+    "RunMetrics",
+    "Transaction",
+    "decode_transactions",
+    "encode_transactions",
+]

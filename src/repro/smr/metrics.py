@@ -1,0 +1,229 @@
+"""Measurement: proposal finalization latency, throughput, block intervals.
+
+The paper's methodology (Section 9.2):
+
+* **latency** — "the average proposal finalization time, measured at the
+  respective proposer": the time from when a replica proposes a block until
+  that same replica observes the block finalized.
+* **throughput** — "the average number of committed bytes per second at any
+  (non-faulty) replica".
+* Figure 6d additionally reports the **block interval** (time between
+  consecutive commits) under crash faults.
+* Figure 6c reports the latency **distribution/variance**.
+
+:class:`MetricsCollector` listens to a simulation's commit stream, pairs
+commits with the proposal timestamps exposed by the protocols, and produces a
+:class:`RunMetrics` summary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.runtime.simulator import CommitRecord
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """A single proposal-finalization latency measurement.
+
+    Attributes:
+        proposer: the replica that proposed (and measured) the block.
+        round: the block's round.
+        latency: seconds from proposal to the proposer observing finalization.
+        finalization_kind: ``"fast"`` or ``"slow"``.
+    """
+
+    proposer: int
+    round: int
+    latency: float
+    finalization_kind: str
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _variance(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mean = _mean(values)
+    return sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (q in [0, 100])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated metrics of one experiment run.
+
+    Attributes:
+        protocol: protocol name.
+        duration: measured duration in seconds.
+        latency_samples: per-proposal latency samples.
+        committed_bytes: total payload bytes committed at the observer replica.
+        committed_blocks: total blocks committed at the observer replica.
+        block_intervals: times between consecutive commits at the observer.
+        fast_finalized: number of commits finalized via the fast path.
+        slow_finalized: number of commits finalized via the slow path.
+    """
+
+    protocol: str
+    duration: float
+    latency_samples: List[LatencySample] = field(default_factory=list)
+    committed_bytes: int = 0
+    committed_blocks: int = 0
+    block_intervals: List[float] = field(default_factory=list)
+    fast_finalized: int = 0
+    slow_finalized: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Derived statistics
+    # ------------------------------------------------------------------ #
+
+    def latencies(self) -> List[float]:
+        """All latency samples in seconds."""
+        return [sample.latency for sample in self.latency_samples]
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean proposal finalization latency in seconds."""
+        return _mean(self.latencies())
+
+    @property
+    def median_latency(self) -> float:
+        """Median proposal finalization latency in seconds."""
+        return _percentile(self.latencies(), 50)
+
+    @property
+    def p95_latency(self) -> float:
+        """95th-percentile latency in seconds."""
+        return _percentile(self.latencies(), 95)
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile latency in seconds."""
+        return _percentile(self.latencies(), 99)
+
+    @property
+    def latency_variance(self) -> float:
+        """Sample variance of the latency in seconds squared."""
+        return _variance(self.latencies())
+
+    @property
+    def latency_stddev(self) -> float:
+        """Sample standard deviation of the latency in seconds."""
+        return math.sqrt(self.latency_variance)
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        """Committed payload bytes per second at the observer replica."""
+        if self.duration <= 0:
+            return 0.0
+        return self.committed_bytes / self.duration
+
+    @property
+    def blocks_per_s(self) -> float:
+        """Committed blocks per second at the observer replica."""
+        if self.duration <= 0:
+            return 0.0
+        return self.committed_blocks / self.duration
+
+    @property
+    def mean_block_interval(self) -> float:
+        """Mean time between consecutive commits at the observer replica."""
+        return _mean(self.block_intervals)
+
+    @property
+    def fast_path_ratio(self) -> float:
+        """Fraction of commits finalized via the fast path."""
+        total = self.fast_finalized + self.slow_finalized
+        return self.fast_finalized / total if total else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Return the headline numbers as a dictionary (seconds / bytes)."""
+        return {
+            "mean_latency_s": self.mean_latency,
+            "median_latency_s": self.median_latency,
+            "p95_latency_s": self.p95_latency,
+            "latency_stddev_s": self.latency_stddev,
+            "throughput_bytes_per_s": self.throughput_bytes_per_s,
+            "blocks_per_s": self.blocks_per_s,
+            "mean_block_interval_s": self.mean_block_interval,
+            "fast_path_ratio": self.fast_path_ratio,
+            "committed_blocks": float(self.committed_blocks),
+        }
+
+
+class MetricsCollector:
+    """Collects commit records and produces :class:`RunMetrics`.
+
+    Args:
+        protocol: protocol name for labelling.
+        observer: replica id whose commits define throughput / intervals
+            (the paper uses "any non-faulty replica"; pass one explicitly).
+        warmup: measurements with commit time below this are discarded so
+            start-up transients do not skew averages.
+    """
+
+    def __init__(self, protocol: str, observer: int = 0, warmup: float = 0.0) -> None:
+        self.protocol = protocol
+        self.observer = observer
+        self.warmup = warmup
+        self._observer_commits: List[CommitRecord] = []
+        self._proposer_commits: Dict[int, List[CommitRecord]] = {}
+
+    def on_commit(self, record: CommitRecord) -> None:
+        """Commit-stream listener; wire it via ``Simulation.add_commit_listener``."""
+        if record.commit_time < self.warmup:
+            return
+        if record.replica_id == self.observer:
+            self._observer_commits.append(record)
+        if record.replica_id == record.block.proposer:
+            self._proposer_commits.setdefault(record.replica_id, []).append(record)
+
+    def finalize(self, duration: float,
+                 proposal_times: Dict[int, Dict[str, float]]) -> RunMetrics:
+        """Produce the run metrics.
+
+        Args:
+            duration: measured run duration in seconds (excluding warm-up).
+            proposal_times: per-replica mapping block id → proposal time, as
+                exposed by each protocol's ``proposal_times`` attribute.
+        """
+        metrics = RunMetrics(protocol=self.protocol, duration=duration)
+        previous_commit: Optional[float] = None
+        for record in self._observer_commits:
+            metrics.committed_blocks += 1
+            metrics.committed_bytes += record.block.size
+            if record.finalization_kind == "fast":
+                metrics.fast_finalized += 1
+            else:
+                metrics.slow_finalized += 1
+            if previous_commit is not None:
+                metrics.block_intervals.append(record.commit_time - previous_commit)
+            previous_commit = record.commit_time
+        for replica_id, records in self._proposer_commits.items():
+            times = proposal_times.get(replica_id, {})
+            for record in records:
+                proposed_at = times.get(record.block.id)
+                if proposed_at is None:
+                    continue
+                metrics.latency_samples.append(
+                    LatencySample(
+                        proposer=replica_id,
+                        round=record.block.round,
+                        latency=record.commit_time - proposed_at,
+                        finalization_kind=record.finalization_kind,
+                    )
+                )
+        return metrics

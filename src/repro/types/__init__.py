@@ -1,0 +1,50 @@
+"""Common protocol data types shared by Banyan and the baseline protocols.
+
+* :mod:`repro.types.blocks` — blocks, block identifiers, the genesis block.
+* :mod:`repro.types.votes` — notarization, fast, and finalization votes.
+* :mod:`repro.types.certificates` — notarizations, finalizations, fast
+  finalizations, and unlock proofs built by aggregating votes.
+* :mod:`repro.types.messages` — wire messages exchanged between replicas.
+"""
+
+from repro.types.blocks import Block, BlockId, genesis_block
+from repro.types.certificates import (
+    Certificate,
+    FastFinalization,
+    Finalization,
+    Notarization,
+    UnlockProof,
+)
+from repro.types.messages import (
+    BlockProposal,
+    CertificateMessage,
+    Message,
+    VoteMessage,
+)
+from repro.types.votes import (
+    FastVote,
+    FinalizationVote,
+    NotarizationVote,
+    Vote,
+    VoteKind,
+)
+
+__all__ = [
+    "Block",
+    "BlockId",
+    "BlockProposal",
+    "Certificate",
+    "CertificateMessage",
+    "FastFinalization",
+    "FastVote",
+    "Finalization",
+    "FinalizationVote",
+    "Message",
+    "Notarization",
+    "NotarizationVote",
+    "UnlockProof",
+    "Vote",
+    "VoteKind",
+    "VoteMessage",
+    "genesis_block",
+]

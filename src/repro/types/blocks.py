@@ -1,0 +1,110 @@
+"""Blocks and block identifiers.
+
+A block (Algorithm 1, line 25) is ``(k, u, hash(b_p), payload, signature_u)``:
+the round number, the proposer, the hash of the extended parent block, the
+payload, and the proposer's signature.  We additionally carry the proposer's
+rank in the round (derived from the beacon permutation) because several
+protocol rules — the fast path in particular — treat rank-0 blocks specially.
+
+Payloads are opaque byte strings; their size drives the bandwidth component
+of the network model used in the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto.hashing import hash_hex
+
+#: Hex digest string uniquely identifying a block.
+BlockId = str
+
+#: Conventional identifier used as the genesis block's proposer.
+GENESIS_PROPOSER = -1
+
+#: Round number of the genesis block.
+GENESIS_ROUND = 0
+
+
+@dataclass(frozen=True)
+class Block:
+    """A proposed block in the block-tree.
+
+    Attributes:
+        round: the round (block-tree height) the block belongs to.
+        proposer: replica id of the proposer.
+        rank: the proposer's rank in this round's leader permutation
+            (0 = leader).  The genesis block has rank 0 by convention.
+        parent_id: block id of the parent this block extends (``None`` only
+            for genesis).
+        payload: opaque transaction payload bytes.
+        payload_size: logical payload size in bytes used by the bandwidth
+            model.  For synthetic workloads the actual ``payload`` bytes may
+            be a short placeholder while ``payload_size`` carries the size the
+            experiment sweeps over; when left at ``None`` it defaults to
+            ``len(payload)``.
+    """
+
+    round: int
+    proposer: int
+    rank: int
+    parent_id: Optional[BlockId]
+    payload: bytes = b""
+    payload_size: Optional[int] = None
+
+    @property
+    def size(self) -> int:
+        """Logical size of the block payload in bytes."""
+        return self.payload_size if self.payload_size is not None else len(self.payload)
+
+    @property
+    def id(self) -> BlockId:
+        """The block identifier (hash of the block contents)."""
+        return _block_id(self)
+
+    def is_genesis(self) -> bool:
+        """Return whether this is the genesis block."""
+        return self.parent_id is None and self.round == GENESIS_ROUND
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Block(round={self.round}, proposer={self.proposer}, rank={self.rank}, "
+            f"id={self.id[:8]}, parent={(self.parent_id or 'None')[:8]}, size={self.size})"
+        )
+
+
+# Block ids are pure functions of the (immutable) block contents, so they can
+# be memoised.  The cache lives outside the dataclass to keep Block frozen and
+# hashable by value.
+_BLOCK_ID_CACHE: dict = {}
+
+
+def _block_id(block: Block) -> BlockId:
+    key = (
+        block.round,
+        block.proposer,
+        block.rank,
+        block.parent_id,
+        block.payload,
+        block.payload_size,
+    )
+    cached = _BLOCK_ID_CACHE.get(key)
+    if cached is None:
+        cached = hash_hex(key)
+        _BLOCK_ID_CACHE[key] = cached
+    return cached
+
+
+_GENESIS = Block(
+    round=GENESIS_ROUND,
+    proposer=GENESIS_PROPOSER,
+    rank=0,
+    parent_id=None,
+    payload=b"genesis",
+)
+
+
+def genesis_block() -> Block:
+    """Return the canonical genesis block shared by all replicas."""
+    return _GENESIS

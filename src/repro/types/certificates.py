@@ -1,0 +1,173 @@
+"""Certificates: aggregated votes proving protocol facts.
+
+The paper aggregates vote multisets into four kinds of certificates:
+
+* **Notarization** (Section 4) — proof that a quorum notarization-voted for a
+  block; required before a block may be extended and gates round advancement.
+* **Finalization** (Section 4) — proof that a quorum finalization-voted for a
+  block; the block is *SP-finalized* (explicitly finalized via the slow path).
+* **Fast finalization** (Definition 6.2 / Addition 4) — proof that ``n - p``
+  replicas fast-voted for a rank-0 block; the block is *FP-finalized*.
+* **Unlock proof** (Definition 7.7) — a collection of fast votes proving a
+  block is *unlocked* according to Definition 7.6, i.e. safe to extend.
+
+Certificates are value objects: the voter set is explicit so quorum sizes are
+checked by the recipient (``verify``), and the optional aggregate signature
+carries the simulated BLS multi-signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.crypto.aggregate import AggregateSignature
+from repro.crypto.keys import KeyRegistry
+from repro.types.blocks import BlockId
+from repro.types.votes import Vote, VoteKind
+
+
+class CertificateError(Exception):
+    """Raised when a certificate is constructed from inconsistent votes."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Base certificate: a set of voters attesting something about a block.
+
+    Attributes:
+        round: round of the certified block.
+        block_id: identifier of the certified block.
+        voters: the replicas whose votes are aggregated.
+        aggregate: the aggregated signature shares (may be ``None`` when the
+            experiment runs with signatures disabled for speed).
+    """
+
+    round: int
+    block_id: BlockId
+    voters: FrozenSet[int]
+    aggregate: Optional[AggregateSignature] = None
+
+    #: Vote kind this certificate aggregates; overridden by subclasses.
+    VOTE_KIND = VoteKind.NOTARIZATION
+
+    @classmethod
+    def from_votes(cls, votes: Iterable[Vote]) -> "Certificate":
+        """Aggregate ``votes`` (all of this certificate's kind, same block).
+
+        Raises:
+            CertificateError: if the votes are empty, of mixed kind, or refer
+                to different blocks/rounds.
+        """
+        votes = list(votes)
+        if not votes:
+            raise CertificateError("cannot build a certificate from zero votes")
+        rounds = {vote.round for vote in votes}
+        blocks = {vote.block_id for vote in votes}
+        kinds = {vote.kind for vote in votes}
+        if kinds != {cls.VOTE_KIND}:
+            raise CertificateError(
+                f"{cls.__name__} expects {cls.VOTE_KIND.value} votes, got {sorted(k.value for k in kinds)}"
+            )
+        if len(rounds) != 1 or len(blocks) != 1:
+            raise CertificateError("votes refer to different blocks or rounds")
+        signatures = [vote.signature for vote in votes if vote.signature is not None]
+        aggregate = AggregateSignature.from_shares(signatures) if signatures else None
+        return cls(
+            round=rounds.pop(),
+            block_id=blocks.pop(),
+            voters=frozenset(vote.voter for vote in votes),
+            aggregate=aggregate,
+        )
+
+    def __len__(self) -> int:
+        return len(self.voters)
+
+    def verify(self, registry: Optional[KeyRegistry], threshold: int) -> bool:
+        """Check the certificate carries at least ``threshold`` distinct voters.
+
+        When a PKI ``registry`` is supplied and the certificate carries an
+        aggregate signature, the signature shares are verified as well.
+        """
+        if len(self.voters) < threshold:
+            return False
+        if registry is not None and self.aggregate is not None:
+            payload = (self.VOTE_KIND.value, self.round, self.block_id)
+            if not self.aggregate.verify(payload, registry):
+                return False
+            if not self.aggregate.signers() >= self.voters:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class Notarization(Certificate):
+    """Proof that a quorum notarization-voted for the block."""
+
+    VOTE_KIND = VoteKind.NOTARIZATION
+
+
+@dataclass(frozen=True)
+class Finalization(Certificate):
+    """Proof of SP-finalization: a quorum of finalization votes."""
+
+    VOTE_KIND = VoteKind.FINALIZATION
+
+
+@dataclass(frozen=True)
+class FastFinalization(Certificate):
+    """Proof of FP-finalization: ``n - p`` fast votes for a rank-0 block."""
+
+    VOTE_KIND = VoteKind.FAST
+
+
+@dataclass(frozen=True)
+class UnlockProof:
+    """Proof that a block is unlocked (Definition 7.7).
+
+    Unlike the other certificates, an unlock proof may aggregate fast votes
+    for *several different* blocks of the same round: Condition 2 of
+    Definition 7.6 unlocks every block of the round once more than ``f + p``
+    fast-vote support exists outside the best rank-0 block.
+
+    Attributes:
+        round: the round whose block(s) are unlocked.
+        block_id: the block the proof is attached to (the notarized block the
+            sender extends / forwards).
+        votes_by_block: fast-vote voter sets keyed by the block they support.
+    """
+
+    round: int
+    block_id: BlockId
+    votes_by_block: Tuple[Tuple[BlockId, FrozenSet[int]], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def from_fast_votes(cls, round: int, block_id: BlockId,
+                        votes: Iterable[Vote]) -> "UnlockProof":
+        """Build an unlock proof from a collection of fast votes of ``round``."""
+        by_block: dict = {}
+        for vote in votes:
+            if vote.kind is not VoteKind.FAST:
+                raise CertificateError("unlock proofs aggregate fast votes only")
+            if vote.round != round:
+                raise CertificateError("unlock proof votes must belong to one round")
+            by_block.setdefault(vote.block_id, set()).add(vote.voter)
+        ordered = tuple(sorted((bid, frozenset(voters)) for bid, voters in by_block.items()))
+        return cls(round=round, block_id=block_id, votes_by_block=ordered)
+
+    def support(self, block_id: BlockId) -> FrozenSet[int]:
+        """Return the fast-vote support recorded for ``block_id``."""
+        for bid, voters in self.votes_by_block:
+            if bid == block_id:
+                return voters
+        return frozenset()
+
+    def total_voters(self) -> FrozenSet[int]:
+        """Return all distinct voters across every block in the proof."""
+        voters: set = set()
+        for _, block_voters in self.votes_by_block:
+            voters |= block_voters
+        return frozenset(voters)
+
+    def __len__(self) -> int:
+        return len(self.total_voters())

@@ -1,0 +1,111 @@
+"""Wire messages exchanged between replicas.
+
+Protocol replicas communicate by broadcasting three message shapes:
+
+* :class:`BlockProposal` — a block together with the parent's notarization
+  and unlock proof (Algorithm 1, lines 28/31/35), and optionally the
+  proposer's own fast vote (rank-0 proposals, Addition 2).
+* :class:`VoteMessage` — one or more votes (a notarization vote possibly
+  accompanied by a fast vote, Addition 3; or a finalization vote).
+* :class:`CertificateMessage` — a notarization, finalization, fast
+  finalization, or unlock proof being relayed (Additions 1 and 4).
+
+Every message carries its logical ``wire_size`` so the network substrate can
+charge bandwidth-dependent transfer time: block proposals dominate because
+they carry the payload, while votes and certificates are small and constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.types.blocks import Block
+from repro.types.certificates import (
+    FastFinalization,
+    Finalization,
+    Notarization,
+    UnlockProof,
+)
+from repro.types.votes import Vote
+
+#: Approximate serialized size of a vote/signature share, in bytes.
+VOTE_WIRE_SIZE = 96
+
+#: Approximate fixed overhead of a block header, in bytes.
+BLOCK_HEADER_SIZE = 256
+
+
+@dataclass(frozen=True)
+class BlockProposal:
+    """A block proposal (or relay of a proposal).
+
+    Attributes:
+        block: the proposed block.
+        parent_notarization: notarization of the parent block, proving it may
+            be extended (omitted only when the parent is genesis).
+        parent_unlock_proof: unlock proof for the parent block (Banyan only).
+        fast_vote: the proposer's fast vote for its own block (rank-0 blocks
+            must carry one, Algorithm 2 line 63).
+        relayed_by: replica relaying someone else's proposal, if any.
+    """
+
+    block: Block
+    parent_notarization: Optional[Notarization] = None
+    parent_unlock_proof: Optional[UnlockProof] = None
+    fast_vote: Optional[Vote] = None
+    relayed_by: Optional[int] = None
+
+    @property
+    def wire_size(self) -> int:
+        """Logical serialized size in bytes."""
+        size = BLOCK_HEADER_SIZE + self.block.size
+        if self.parent_notarization is not None:
+            size += VOTE_WIRE_SIZE * max(1, len(self.parent_notarization))
+        if self.parent_unlock_proof is not None:
+            size += VOTE_WIRE_SIZE * max(1, len(self.parent_unlock_proof))
+        if self.fast_vote is not None:
+            size += VOTE_WIRE_SIZE
+        return size
+
+
+@dataclass(frozen=True)
+class VoteMessage:
+    """One or more votes from a single replica, broadcast together."""
+
+    votes: Tuple[Vote, ...]
+    sender: int
+
+    @property
+    def wire_size(self) -> int:
+        """Logical serialized size in bytes."""
+        return VOTE_WIRE_SIZE * len(self.votes)
+
+
+@dataclass(frozen=True)
+class CertificateMessage:
+    """A certificate being relayed between replicas.
+
+    Attributes:
+        certificate: the notarization / finalization / fast finalization.
+        unlock_proof: unlock proof forwarded alongside (Addition 1).
+        sender: the relaying replica.
+    """
+
+    certificate: Union[Notarization, Finalization, FastFinalization, None]
+    unlock_proof: Optional[UnlockProof] = None
+    sender: int = -1
+
+    @property
+    def wire_size(self) -> int:
+        """Logical serialized size in bytes."""
+        size = 0
+        if self.certificate is not None:
+            size += VOTE_WIRE_SIZE * max(1, len(self.certificate))
+        if self.unlock_proof is not None:
+            size += VOTE_WIRE_SIZE * max(1, len(self.unlock_proof))
+        return max(size, VOTE_WIRE_SIZE)
+
+
+#: Union of all message shapes a protocol may receive.
+Message = Union[BlockProposal, VoteMessage, CertificateMessage]

@@ -1,0 +1,135 @@
+"""Tests for adaptive delay adjustment (Remark 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive import AdaptiveDelayEstimator
+from repro.net.faults import FaultPlan
+from repro.net.latency import ConstantLatency, UniformLatency
+from tests.conftest import assert_consistent_chains, build_simulation
+
+
+class TestAdaptiveDelayEstimator:
+    def test_initial_value_clamped(self):
+        estimator = AdaptiveDelayEstimator(initial_delay=100.0, max_delay=5.0)
+        assert estimator.current_delay == 5.0
+
+    def test_estimate_tracks_observations_with_headroom(self):
+        estimator = AdaptiveDelayEstimator(initial_delay=3.0, headroom=1.5, min_delay=0.01)
+        for _ in range(20):
+            estimator.observe_round(0.1)
+        assert estimator.current_delay == pytest.approx(0.15)
+        assert estimator.observations == 20
+
+    def test_estimate_uses_high_percentile(self):
+        estimator = AdaptiveDelayEstimator(initial_delay=1.0, percentile=90.0, headroom=1.0)
+        for duration in [0.1] * 9 + [0.5]:
+            estimator.observe_round(duration)
+        # The 90th percentile of the window is the 0.1 bucket's top; the lone
+        # 0.5 outlier only matters at the 100th percentile.
+        assert estimator.current_delay <= 0.5
+        assert estimator.current_delay >= 0.1
+
+    def test_timeout_backs_off_multiplicatively(self):
+        estimator = AdaptiveDelayEstimator(initial_delay=0.2, backoff=2.0, max_delay=1.0)
+        estimator.observe_timeout()
+        assert estimator.current_delay == pytest.approx(0.4)
+        estimator.observe_timeout()
+        estimator.observe_timeout()
+        assert estimator.current_delay == pytest.approx(1.0)  # clamped
+        assert estimator.timeouts == 3
+
+    def test_recovers_after_backoff(self):
+        estimator = AdaptiveDelayEstimator(initial_delay=0.2, window=8)
+        estimator.observe_timeout()
+        for _ in range(8):
+            estimator.observe_round(0.05)
+        assert estimator.current_delay < 0.2
+
+    def test_delays_scale_with_rank(self):
+        estimator = AdaptiveDelayEstimator(initial_delay=0.3)
+        assert estimator.proposal_delay(0) == 0.0
+        assert estimator.proposal_delay(2) == pytest.approx(0.6)
+        assert estimator.notarization_delay(1) == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveDelayEstimator(initial_delay=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveDelayEstimator(initial_delay=1.0, min_delay=2.0, max_delay=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveDelayEstimator(initial_delay=1.0, headroom=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveDelayEstimator(initial_delay=1.0, percentile=0)
+        estimator = AdaptiveDelayEstimator(initial_delay=1.0)
+        with pytest.raises(ValueError):
+            estimator.observe_round(-1.0)
+
+
+class TestAdaptiveProtocolIntegration:
+    def _mean_proposer_latency(self, sim):
+        latencies = []
+        for replica_id in sim.replica_ids:
+            protocol = sim.protocol(replica_id)
+            commits = {r.block.id: r.commit_time for r in sim.commits_for(replica_id)}
+            latencies.extend(
+                commits[bid] - t for bid, t in protocol.proposal_times.items() if bid in commits
+            )
+        return sum(latencies) / len(latencies)
+
+    def _build(self, protocol, adaptive, rank_delay, **kwargs):
+        from repro.protocols.base import ProtocolParams
+        from repro.protocols.registry import create_replicas
+        from repro.runtime.simulator import NetworkConfig, Simulation
+
+        params = ProtocolParams(n=4, f=1, p=1, rank_delay=rank_delay, payload_size=1_000,
+                                adaptive_delays=adaptive)
+        replicas = create_replicas(protocol, params)
+        network = NetworkConfig(latency=kwargs.get("latency", ConstantLatency(0.05)),
+                                faults=kwargs.get("faults", FaultPlan.none()), seed=1)
+        return Simulation(replicas, network)
+
+    def test_banyan_still_commits_with_adaptive_delays(self):
+        sim = self._build("banyan", adaptive=True, rank_delay=0.4)
+        sim.run(until=10.0)
+        assert_consistent_chains(sim)
+        assert len(sim.commits_for(0)) > 10
+        estimator = sim.protocol(0).delay_estimator
+        assert estimator is not None and estimator.observations > 5
+
+    def test_estimator_disabled_by_default(self):
+        sim = self._build("icc", adaptive=False, rank_delay=0.4)
+        sim.run(until=3.0)
+        assert sim.protocol(0).delay_estimator is None
+
+    def test_adaptive_delays_speed_up_crash_recovery(self):
+        """With a crashed leader and a grossly over-estimated Δ, the adaptive
+        variant shrinks the rank-1 fallback delay and commits more blocks."""
+        faults = FaultPlan.with_crashed([2])
+
+        def blocks(adaptive):
+            sim = self._build("icc", adaptive=adaptive, rank_delay=3.0, faults=faults,
+                              latency=ConstantLatency(0.05))
+            sim.run(until=40.0)
+            assert_consistent_chains(sim)
+            return len(sim.commits_for(0))
+
+        assert blocks(adaptive=True) > blocks(adaptive=False)
+
+    def test_adaptive_fault_free_latency_not_worse(self):
+        fixed = self._build("banyan", adaptive=False, rank_delay=0.4)
+        fixed.run(until=10.0)
+        adaptive = self._build("banyan", adaptive=True, rank_delay=0.4)
+        adaptive.run(until=10.0)
+        assert self._mean_proposer_latency(adaptive) <= self._mean_proposer_latency(fixed) * 1.1
+
+    def test_adaptive_delays_with_jitter_remain_single_leader_mostly(self):
+        sim = self._build("banyan", adaptive=True, rank_delay=0.4,
+                          latency=UniformLatency(0.02, 0.08))
+        sim.run(until=10.0)
+        assert_consistent_chains(sim)
+        # The estimate should settle well above the maximum network delay, so
+        # fault-free rounds still finalize the leader's (rank-0) block.
+        rank0 = sum(1 for r in sim.commits_for(0) if r.block.rank == 0)
+        assert rank0 / len(sim.commits_for(0)) > 0.9

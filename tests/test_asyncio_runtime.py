@@ -1,0 +1,73 @@
+"""Tests for the asyncio real-time runtime.
+
+The same protocol objects that run under the discrete-event simulator are
+driven here by an asyncio event loop with (scaled) wall-clock delays.  Runs
+are kept very short and heavily time-compressed so the test suite stays fast.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.net.latency import ConstantLatency
+from repro.protocols.base import ProtocolParams
+from repro.protocols.registry import create_replicas
+from repro.runtime.asyncio_runtime import AsyncioRuntime
+from repro.runtime.simulator import NetworkConfig
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _build_runtime(protocol: str, n: int = 4, duration: float = 4.0,
+                   time_scale: float = 0.02):
+    params = ProtocolParams(n=n, f=1, p=1, rank_delay=0.4, payload_size=500)
+    replicas = create_replicas(protocol, params)
+    network = NetworkConfig(latency=ConstantLatency(0.05), seed=1)
+    runtime = AsyncioRuntime(replicas, network, time_scale=time_scale)
+    return runtime, duration
+
+
+class TestAsyncioRuntime:
+    def test_banyan_commits_under_asyncio(self):
+        runtime, duration = _build_runtime("banyan")
+        _run(runtime.run(duration))
+        commits = runtime.commits_for(0)
+        assert len(commits) >= 2
+        assert all(record.finalization_kind in ("fast", "slow") for record in commits)
+
+    def test_icc_commits_under_asyncio(self):
+        runtime, duration = _build_runtime("icc")
+        _run(runtime.run(duration))
+        assert len(runtime.commits_for(1)) >= 2
+
+    def test_chains_consistent_across_replicas(self):
+        runtime, duration = _build_runtime("banyan")
+        _run(runtime.run(duration))
+        chains = [
+            [record.block.id for record in runtime.commits_for(replica_id)]
+            for replica_id in runtime.replica_ids
+        ]
+        reference = max(chains, key=len)
+        for chain in chains:
+            assert chain == reference[: len(chain)]
+
+    def test_commit_listener_invoked(self):
+        runtime, duration = _build_runtime("banyan")
+        seen = []
+        runtime.add_commit_listener(seen.append)
+        _run(runtime.run(duration))
+        assert seen
+
+    def test_invalid_time_scale_rejected(self):
+        params = ProtocolParams(n=4, f=1, p=1)
+        replicas = create_replicas("icc", params)
+        with pytest.raises(ValueError):
+            AsyncioRuntime(replicas, time_scale=0)
+
+    def test_empty_replica_set_rejected(self):
+        with pytest.raises(ValueError):
+            AsyncioRuntime({})

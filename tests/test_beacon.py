@@ -1,0 +1,86 @@
+"""Unit tests for the leader-rotation beacons."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.beacon import RoundRobinBeacon, SeededPermutationBeacon
+
+
+class TestRoundRobinBeacon:
+    def test_leader_rotates_over_rounds(self):
+        beacon = RoundRobinBeacon([0, 1, 2, 3])
+        assert [beacon.leader(k) for k in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_permutation_is_a_rotation(self):
+        beacon = RoundRobinBeacon([0, 1, 2, 3])
+        assert beacon.permutation(1) == [1, 2, 3, 0]
+        assert beacon.permutation(3) == [3, 0, 1, 2]
+
+    def test_permutation_contains_every_replica_once(self):
+        beacon = RoundRobinBeacon(list(range(7)))
+        for round in range(10):
+            assert sorted(beacon.permutation(round)) == list(range(7))
+
+    def test_rank_of_leader_is_zero(self):
+        beacon = RoundRobinBeacon(list(range(5)))
+        for round in range(10):
+            assert beacon.rank(round, beacon.leader(round)) == 0
+
+    def test_ranks_mapping_matches_permutation(self):
+        beacon = RoundRobinBeacon(list(range(4)))
+        ranks = beacon.ranks(2)
+        permutation = beacon.permutation(2)
+        for replica, rank in ranks.items():
+            assert permutation[rank] == replica
+
+    def test_unknown_replica_raises(self):
+        beacon = RoundRobinBeacon([0, 1, 2])
+        with pytest.raises(ValueError):
+            beacon.rank(0, 99)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinBeacon([0, 0, 1])
+
+    def test_empty_replica_set_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinBeacon([])
+
+    def test_non_contiguous_ids_supported(self):
+        beacon = RoundRobinBeacon([10, 20, 30])
+        assert beacon.leader(0) == 10
+        assert beacon.leader(1) == 20
+        assert beacon.rank(1, 10) == 2
+
+
+class TestSeededPermutationBeacon:
+    def test_same_seed_gives_same_permutations(self):
+        a = SeededPermutationBeacon(list(range(6)), seed=42)
+        b = SeededPermutationBeacon(list(range(6)), seed=42)
+        for round in range(20):
+            assert a.permutation(round) == b.permutation(round)
+
+    def test_different_seed_gives_different_schedule(self):
+        a = SeededPermutationBeacon(list(range(6)), seed=1)
+        b = SeededPermutationBeacon(list(range(6)), seed=2)
+        assert any(a.permutation(k) != b.permutation(k) for k in range(20))
+
+    def test_permutation_is_a_permutation(self):
+        beacon = SeededPermutationBeacon(list(range(9)), seed=7)
+        for round in range(15):
+            assert sorted(beacon.permutation(round)) == list(range(9))
+
+    def test_leader_changes_across_rounds(self):
+        beacon = SeededPermutationBeacon(list(range(10)), seed=0)
+        leaders = {beacon.leader(k) for k in range(50)}
+        assert len(leaders) > 1
+
+    def test_leadership_is_roughly_fair(self):
+        beacon = SeededPermutationBeacon(list(range(4)), seed=3)
+        counts = {replica: 0 for replica in range(4)}
+        rounds = 400
+        for round in range(rounds):
+            counts[beacon.leader(round)] += 1
+        for count in counts.values():
+            assert rounds / 4 * 0.5 < count < rounds / 4 * 1.5

@@ -1,0 +1,183 @@
+"""Tests for the Byzantine behaviour modules and partial-synchrony recovery.
+
+Covers the misbehaving replica implementations directly (silent replica,
+equivocating leaders, delayed stragglers) and the deadlock-freeness property
+under temporary network partitions: chain growth resumes once the partition
+heals (the paper's distinction between deadlock freeness and liveness,
+Remark 5.1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.byzantine.behaviors import (
+    DelayedReplica,
+    EquivocatingBanyanReplica,
+    EquivocatingICCReplica,
+    SilentReplica,
+    make_equivocating_banyan,
+    make_equivocating_icc,
+)
+from repro.net.faults import FaultPlan, PartitionPlan
+from repro.net.latency import ConstantLatency
+from repro.protocols.base import ProtocolParams
+from repro.protocols.registry import create_replicas
+from repro.runtime.simulator import NetworkConfig, Simulation
+from tests.conftest import assert_consistent_chains, assert_no_conflicting_rounds
+
+
+class TestSilentReplica:
+    def test_silent_replica_sends_nothing(self):
+        params = ProtocolParams(n=4, f=1, p=1, rank_delay=0.4, payload_size=1_000)
+        replicas = create_replicas("banyan", params, overrides={3: SilentReplica})
+        sim = Simulation(replicas, NetworkConfig(latency=ConstantLatency(0.05), seed=2))
+        sim.run(until=10.0)
+        # The silent replica commits nothing but the others keep going.
+        assert sim.commits_for(3) == []
+        assert len(sim.commits_for(0)) > 5
+        assert_no_conflicting_rounds(sim)
+
+    def test_silent_replica_equivalent_to_crash(self):
+        params = ProtocolParams(n=4, f=1, p=1, rank_delay=0.4, payload_size=1_000)
+
+        silent = create_replicas("banyan", params, overrides={3: SilentReplica})
+        sim_silent = Simulation(silent, NetworkConfig(latency=ConstantLatency(0.05), seed=2))
+        sim_silent.run(until=15.0)
+
+        crashed = create_replicas("banyan", params)
+        sim_crashed = Simulation(
+            crashed,
+            NetworkConfig(latency=ConstantLatency(0.05), seed=2,
+                          faults=FaultPlan.with_crashed([3])),
+        )
+        sim_crashed.run(until=15.0)
+
+        assert abs(len(sim_silent.commits_for(0)) - len(sim_crashed.commits_for(0))) <= 2
+
+
+class TestEquivocators:
+    def test_factories_return_protocol_classes(self):
+        assert make_equivocating_banyan() is EquivocatingBanyanReplica
+        assert make_equivocating_icc() is EquivocatingICCReplica
+        assert issubclass(EquivocatingBanyanReplica, object)
+
+    def test_equivocator_sends_two_conflicting_blocks(self):
+        """Inspect the raw messages an equivocating leader produces."""
+        params = ProtocolParams(n=4, f=1, p=1, rank_delay=0.4, payload_size=100)
+
+        sent = []
+
+        class Recorder(SilentReplica):
+            def on_message(self, ctx, sender, message):
+                sent.append((sender, message))
+
+        replicas = create_replicas(
+            "banyan", params,
+            overrides={0: make_equivocating_banyan(), 1: Recorder, 2: Recorder, 3: Recorder},
+        )
+        sim = Simulation(replicas, NetworkConfig(latency=ConstantLatency(0.05), seed=1))
+        # Round 1's leader is replica 1 (a recorder), so nothing happens until
+        # round 0 % 4... run long enough for replica 0's leader round: with
+        # round-robin, replica 0 leads round 4 — but recorders never advance,
+        # so instead check the equivocator's behaviour in round 1 is honest
+        # (it is not the leader) and drive its leader round directly.
+        equivocator = sim.protocol(0)
+        sim.start()
+        equivocator.current_round = 4
+        equivocator.tree.mark_notarized(equivocator.tree.genesis_id)
+        # Force a proposal for a round it leads (round 4 with 4 replicas).
+        state = equivocator._round(4)
+        state.entered = True
+        # Give it a notarized+unlocked parent at round 3.
+        from repro.types.blocks import Block, genesis_block
+
+        parent = Block(round=3, proposer=1, rank=0, parent_id=genesis_block().id)
+        equivocator.tree.add_block(parent)
+        equivocator.tree.mark_notarized(parent.id)
+        equivocator.tree.mark_unlocked(parent.id)
+        equivocator._propose(sim._contexts[0], 4)
+        sim.run(until=1.0)
+        proposals = [m for _, m in sent if hasattr(m, "block") and m.block.round == 4]
+        block_ids = {m.block.id for m in proposals}
+        assert len(block_ids) == 2, "the equivocator must produce two distinct round-4 blocks"
+
+    def test_honest_majority_withstands_equivocation_with_p_equals_f(self):
+        params = ProtocolParams(n=9, f=2, p=2, rank_delay=0.4, payload_size=1_000)
+        replicas = create_replicas("banyan", params, overrides={1: make_equivocating_banyan()})
+        sim = Simulation(replicas, NetworkConfig(latency=ConstantLatency(0.05), seed=5))
+        sim.run(until=20.0)
+        assert_no_conflicting_rounds(sim)
+        honest = [r for r in sim.replica_ids if r != 1]
+        assert all(len(sim.commits_for(r)) > 5 for r in honest)
+
+
+class TestDelayedReplica:
+    def test_outbound_messages_are_delayed(self):
+        params = ProtocolParams(n=4, f=1, p=1, rank_delay=0.4, payload_size=1_000)
+        replicas = create_replicas("banyan", params)
+        wrapped = DelayedReplica(replicas[2], extra_delay=0.2)
+        replicas[2] = wrapped
+        sim = Simulation(replicas, NetworkConfig(latency=ConstantLatency(0.05), seed=1))
+        sim.run(until=5.0)
+        # The wrapped replica still participates (receives, commits), just late.
+        assert len(sim.commits_for(2)) > 0
+        assert wrapped.inner.proposal_times  # it proposed in its leader rounds
+
+    def test_zero_delay_behaves_like_honest(self):
+        params = ProtocolParams(n=4, f=1, p=1, rank_delay=0.4, payload_size=1_000)
+
+        plain = create_replicas("banyan", params)
+        sim_plain = Simulation(plain, NetworkConfig(latency=ConstantLatency(0.05), seed=1))
+        sim_plain.run(until=5.0)
+
+        wrapped = create_replicas("banyan", params)
+        wrapped[2] = DelayedReplica(wrapped[2], extra_delay=0.0)
+        sim_wrapped = Simulation(wrapped, NetworkConfig(latency=ConstantLatency(0.05), seed=1))
+        sim_wrapped.run(until=5.0)
+
+        assert len(sim_plain.commits_for(0)) == len(sim_wrapped.commits_for(0))
+
+    def test_negative_delay_rejected(self):
+        params = ProtocolParams(n=4, f=1, p=1)
+        replicas = create_replicas("banyan", params)
+        with pytest.raises(ValueError):
+            DelayedReplica(replicas[0], extra_delay=-0.1)
+
+
+class TestPartitions:
+    """Deadlock freeness: chain growth resumes after a partition heals."""
+
+    def _run_with_partition(self, protocol: str, start: float, end: float):
+        params = ProtocolParams(n=4, f=1, p=1, rank_delay=0.4, payload_size=1_000)
+        replicas = create_replicas(protocol, params)
+        partitions = PartitionPlan.single(start, end, [0, 1], [2, 3])
+        network = NetworkConfig(
+            latency=ConstantLatency(0.05),
+            faults=FaultPlan(partitions=partitions),
+            seed=1,
+        )
+        sim = Simulation(replicas, network)
+        sim.run(until=end + 15.0)
+        return sim
+
+    @pytest.mark.parametrize("protocol", ["banyan", "icc"])
+    def test_no_commits_across_partition_but_recovery_after(self, protocol):
+        sim = self._run_with_partition(protocol, start=2.0, end=6.0)
+        assert_consistent_chains(sim)
+        assert_no_conflicting_rounds(sim)
+        commits = sim.commits_for(0)
+        assert commits, "the protocol must recover after the partition heals"
+        # During a 2-2 split neither side has a quorum of 3, so no block can
+        # be finalized inside the partition window.
+        during = [r for r in commits if 2.5 < r.commit_time < 6.0]
+        assert during == []
+        after = [r for r in commits if r.commit_time >= 6.0]
+        assert len(after) > 5
+
+    def test_partition_then_catchup_reaches_same_chain(self):
+        sim = self._run_with_partition("banyan", start=1.0, end=4.0)
+        chains = [[r.block.id for r in sim.commits_for(replica)] for replica in sim.replica_ids]
+        shortest = min(len(c) for c in chains)
+        assert shortest > 0
+        assert all(c[:shortest] == chains[0][:shortest] for c in chains)

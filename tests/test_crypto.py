@@ -1,0 +1,131 @@
+"""Unit tests for keys, signatures, and aggregate multi-signatures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.aggregate import AggregateSignature, AggregationError
+from repro.crypto.keys import KeyRegistry, generate_keypair
+from repro.crypto.signatures import Signature, SignatureError, sign, verify
+
+
+@pytest.fixture
+def registry() -> KeyRegistry:
+    return KeyRegistry.for_replicas(4)
+
+
+class TestKeys:
+    def test_keypair_is_deterministic(self):
+        assert generate_keypair(3) == generate_keypair(3)
+
+    def test_keypair_differs_per_replica(self):
+        assert generate_keypair(0).private_key != generate_keypair(1).private_key
+
+    def test_keypair_differs_per_seed(self):
+        assert generate_keypair(0, b"a") != generate_keypair(0, b"b")
+
+    def test_registry_contains_all_replicas(self, registry):
+        assert len(registry) == 4
+        assert registry.replica_ids() == [0, 1, 2, 3]
+
+    def test_registry_membership(self, registry):
+        assert 2 in registry
+        assert 9 not in registry
+
+    def test_registry_unknown_replica_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.keypair(17)
+
+    def test_public_key_is_not_private_key(self, registry):
+        assert registry.public_key(0) != registry.private_key(0)
+
+    def test_registry_iteration_is_sorted(self, registry):
+        assert list(registry) == [0, 1, 2, 3]
+
+
+class TestSignatures:
+    def test_sign_and_verify_roundtrip(self, registry):
+        signature = sign(("vote", 1, "block"), 2, registry)
+        assert verify(("vote", 1, "block"), signature, registry)
+
+    def test_verify_fails_on_different_message(self, registry):
+        signature = sign("message-a", 1, registry)
+        assert not verify("message-b", signature, registry)
+
+    def test_verify_fails_on_wrong_signer_claim(self, registry):
+        signature = sign("msg", 1, registry)
+        forged = Signature(signer=2, tag=signature.tag, message_digest=signature.message_digest)
+        assert not verify("msg", forged, registry)
+
+    def test_verify_fails_for_unknown_signer(self, registry):
+        signature = Signature(signer=99, tag=b"x" * 32, message_digest=b"y" * 32)
+        assert not verify("msg", signature, registry)
+
+    def test_signing_unknown_replica_raises(self, registry):
+        with pytest.raises(KeyError):
+            sign("msg", 42, registry)
+
+    def test_non_bytes_tag_rejected(self):
+        with pytest.raises(SignatureError):
+            Signature(signer=0, tag="not-bytes", message_digest=b"")
+
+    def test_signatures_differ_per_signer(self, registry):
+        assert sign("msg", 0, registry).tag != sign("msg", 1, registry).tag
+
+
+class TestAggregateSignature:
+    def _shares(self, registry, message, signers):
+        return [sign(message, signer, registry) for signer in signers]
+
+    def test_aggregate_collects_all_signers(self, registry):
+        aggregate = AggregateSignature.from_shares(self._shares(registry, "m", [0, 1, 2]))
+        assert aggregate.signers() == {0, 1, 2}
+        assert len(aggregate) == 3
+
+    def test_aggregate_verifies(self, registry):
+        aggregate = AggregateSignature.from_shares(self._shares(registry, "m", [0, 1, 2]))
+        assert aggregate.verify("m", registry)
+
+    def test_aggregate_fails_verification_on_wrong_message(self, registry):
+        aggregate = AggregateSignature.from_shares(self._shares(registry, "m", [0, 1]))
+        assert not aggregate.verify("other", registry)
+
+    def test_empty_aggregate_never_verifies(self, registry):
+        assert not AggregateSignature().verify("m", registry)
+
+    def test_mixed_messages_rejected(self, registry):
+        shares = self._shares(registry, "m1", [0]) + self._shares(registry, "m2", [1])
+        with pytest.raises(AggregationError):
+            AggregateSignature.from_shares(shares)
+
+    def test_duplicate_shares_are_deduplicated(self, registry):
+        shares = self._shares(registry, "m", [0, 0, 1])
+        aggregate = AggregateSignature.from_shares(shares)
+        assert len(aggregate) == 2
+
+    def test_merge_combines_signer_sets(self, registry):
+        a = AggregateSignature.from_shares(self._shares(registry, "m", [0, 1]))
+        b = AggregateSignature.from_shares(self._shares(registry, "m", [2, 3]))
+        assert a.merge(b).signers() == {0, 1, 2, 3}
+
+    def test_merge_of_different_messages_rejected(self, registry):
+        a = AggregateSignature.from_shares(self._shares(registry, "m1", [0]))
+        b = AggregateSignature.from_shares(self._shares(registry, "m2", [1]))
+        with pytest.raises(AggregationError):
+            a.merge(b)
+
+    def test_with_share_adds_signer(self, registry):
+        aggregate = AggregateSignature.from_shares(self._shares(registry, "m", [0]))
+        extended = aggregate.with_share(sign("m", 1, registry))
+        assert extended.signers() == {0, 1}
+
+    def test_verify_threshold(self, registry):
+        aggregate = AggregateSignature.from_shares(self._shares(registry, "m", [0, 1, 2]))
+        assert aggregate.verify_threshold("m", registry, threshold=3)
+        assert not aggregate.verify_threshold("m", registry, threshold=4)
+
+    def test_order_independence(self, registry):
+        shares = self._shares(registry, "m", [0, 1, 2])
+        assert AggregateSignature.from_shares(shares) == AggregateSignature.from_shares(
+            list(reversed(shares))
+        )

@@ -1,0 +1,68 @@
+"""Unit tests for the canonical encoding and hashing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.hashing import canonical_encode, digest, hash_hex
+from repro.types.blocks import Block
+
+
+class TestCanonicalEncode:
+    def test_none(self):
+        assert canonical_encode(None) == b"\x00N"
+
+    def test_bools_are_distinct_from_ints(self):
+        assert canonical_encode(True) != canonical_encode(1)
+        assert canonical_encode(False) != canonical_encode(0)
+
+    def test_int_and_str_do_not_collide(self):
+        assert canonical_encode(1) != canonical_encode("1")
+
+    def test_bytes_and_str_do_not_collide(self):
+        assert canonical_encode(b"abc") != canonical_encode("abc")
+
+    def test_tuple_vs_flat_values(self):
+        assert canonical_encode((1, 2)) != canonical_encode((12,))
+
+    def test_list_and_tuple_encode_identically(self):
+        assert canonical_encode([1, 2, 3]) == canonical_encode((1, 2, 3))
+
+    def test_set_is_order_independent(self):
+        assert canonical_encode({3, 1, 2}) == canonical_encode({2, 3, 1})
+
+    def test_frozenset_matches_set(self):
+        assert canonical_encode(frozenset({1, 2})) == canonical_encode({1, 2})
+
+    def test_dict_is_order_independent(self):
+        assert canonical_encode({"a": 1, "b": 2}) == canonical_encode({"b": 2, "a": 1})
+
+    def test_dataclass_encoding_includes_field_values(self):
+        block_a = Block(round=1, proposer=0, rank=0, parent_id="x", payload=b"a")
+        block_b = Block(round=1, proposer=0, rank=0, parent_id="x", payload=b"b")
+        assert canonical_encode(block_a) != canonical_encode(block_b)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            canonical_encode(object())
+
+    def test_nested_structures(self):
+        value = {"key": [(1, "two"), {"three": b"3"}]}
+        assert canonical_encode(value) == canonical_encode(value)
+
+
+class TestDigest:
+    def test_digest_is_32_bytes(self):
+        assert len(digest("hello")) == 32
+
+    def test_digest_is_deterministic(self):
+        assert digest(("a", 1, b"x")) == digest(("a", 1, b"x"))
+
+    def test_digest_differs_for_different_values(self):
+        assert digest("a") != digest("b")
+
+    def test_hash_hex_is_hex_of_digest(self):
+        assert bytes.fromhex(hash_hex("payload")) == digest("payload")
+
+    def test_hash_hex_length(self):
+        assert len(hash_hex(12345)) == 64

@@ -1,0 +1,247 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import mean, median, percentile, stddev, variance
+from repro.beacon import RoundRobinBeacon, SeededPermutationBeacon
+from repro.blocktree.chain import FinalizedChain
+from repro.blocktree.tree import BlockTree
+from repro.core.fastpath import FastPathState
+from repro.crypto.hashing import canonical_encode, digest
+from repro.protocols.base import ProtocolParams
+from repro.types.blocks import Block, genesis_block
+
+
+# --------------------------------------------------------------------- #
+# Hashing
+# --------------------------------------------------------------------- #
+
+json_like = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.text(max_size=20) | st.binary(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=5), children, max_size=4),
+    max_leaves=12,
+)
+
+
+@given(json_like)
+def test_canonical_encode_is_deterministic(value):
+    assert canonical_encode(value) == canonical_encode(value)
+    assert digest(value) == digest(value)
+
+
+@given(st.lists(st.integers(), max_size=8), st.lists(st.integers(), max_size=8))
+def test_digest_injective_on_distinct_int_lists(a, b):
+    if a != b:
+        assert digest(a) != digest(b)
+
+
+# --------------------------------------------------------------------- #
+# Beacons
+# --------------------------------------------------------------------- #
+
+@given(st.integers(min_value=1, max_value=25), st.integers(min_value=0, max_value=500))
+def test_round_robin_permutation_property(n, round):
+    beacon = RoundRobinBeacon(list(range(n)))
+    permutation = beacon.permutation(round)
+    assert sorted(permutation) == list(range(n))
+    assert permutation[0] == beacon.leader(round)
+    assert beacon.rank(round, permutation[-1]) == n - 1
+
+
+@given(st.integers(min_value=1, max_value=25), st.integers(min_value=0, max_value=500),
+       st.integers(min_value=0, max_value=2**31))
+def test_seeded_beacon_is_a_permutation(n, round, seed):
+    beacon = SeededPermutationBeacon(list(range(n)), seed=seed)
+    assert sorted(beacon.permutation(round)) == list(range(n))
+
+
+@given(st.integers(min_value=2, max_value=20))
+def test_round_robin_fairness_over_full_cycle(n):
+    beacon = RoundRobinBeacon(list(range(n)))
+    leaders = [beacon.leader(k) for k in range(n)]
+    assert sorted(leaders) == list(range(n))
+
+
+# --------------------------------------------------------------------- #
+# Quorum arithmetic (the bounds of Sections 3 and 8)
+# --------------------------------------------------------------------- #
+
+@given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=30),
+       st.integers(min_value=0, max_value=10))
+def test_banyan_quorum_intersection_holds_at_or_above_bound(f, p, extra):
+    p = min(p, f)
+    n = max(3 * f + 2 * p - 1, 3 * f + 1) + extra
+    params = ProtocolParams(n=n, f=f, p=p)
+    # Two slow quorums intersect in at least one honest replica (Lemma 8.4).
+    assert 2 * params.banyan_quorum - n >= f + 1
+    # A fast quorum and a slow quorum intersect in an honest replica (Thm 8.6).
+    assert params.fast_quorum + params.banyan_quorum - n >= f + 1
+    # Two fast quorums intersect in an honest replica.
+    assert 2 * params.fast_quorum - n >= f + 1
+    # The unlock threshold is reachable by honest replicas alone.
+    assert n - f > params.unlock_threshold
+
+
+@given(st.integers(min_value=1, max_value=30))
+def test_icc_quorum_intersection(f):
+    n = 3 * f + 1
+    params = ProtocolParams(n=n, f=f)
+    assert 2 * params.icc_quorum - n >= f + 1
+
+
+# --------------------------------------------------------------------- #
+# Block tree and finalized chain
+# --------------------------------------------------------------------- #
+
+@st.composite
+def linear_chain(draw, max_length=12):
+    length = draw(st.integers(min_value=1, max_value=max_length))
+    blocks = []
+    parent = genesis_block()
+    for round in range(1, length + 1):
+        proposer = draw(st.integers(min_value=0, max_value=5))
+        block = Block(round=round, proposer=proposer, rank=0, parent_id=parent.id,
+                      payload=str(round).encode())
+        blocks.append(block)
+        parent = block
+    return blocks
+
+
+@given(linear_chain())
+def test_chain_to_inverts_ancestors(blocks):
+    tree = BlockTree()
+    for block in blocks:
+        tree.add_block(block)
+    path = tree.chain_to(blocks[-1].id)
+    assert [b.round for b in path] == list(range(0, len(blocks) + 1))
+    assert all(tree.is_ancestor(a.id, blocks[-1].id) for a in path)
+
+
+@given(linear_chain(), st.data())
+def test_out_of_order_insertion_gives_same_tree(blocks, data):
+    ordering = data.draw(st.permutations(blocks))
+    in_order = BlockTree()
+    for block in blocks:
+        in_order.add_block(block)
+    shuffled = BlockTree()
+    for block in ordering:
+        shuffled.add_block(block)
+    assert len(in_order) == len(shuffled)
+    assert [b.id for b in in_order.chain_to(blocks[-1].id)] == [
+        b.id for b in shuffled.chain_to(blocks[-1].id)
+    ]
+
+
+@given(linear_chain(), st.integers(min_value=1, max_value=12))
+def test_chain_prefix_consistency(blocks, cut):
+    cut = min(cut, len(blocks))
+    full = FinalizedChain()
+    full.append_segment(blocks)
+    partial = FinalizedChain()
+    partial.append_segment(blocks[:cut])
+    assert partial.prefix_of(full)
+    assert partial.consistent_with(full)
+    assert partial.common_prefix_length(full) == len(partial)
+
+
+@given(linear_chain())
+def test_incremental_append_equals_bulk_append(blocks):
+    bulk = FinalizedChain()
+    bulk.append_segment(blocks)
+    incremental = FinalizedChain()
+    for block in blocks:
+        incremental.append_segment([block])
+    assert [b.id for b in bulk] == [b.id for b in incremental]
+
+
+# --------------------------------------------------------------------- #
+# Fast-path unlock conditions (Definition 7.6)
+# --------------------------------------------------------------------- #
+
+@st.composite
+def fast_vote_scenario(draw):
+    f = draw(st.integers(min_value=1, max_value=4))
+    p = draw(st.integers(min_value=1, max_value=f))
+    n = max(3 * f + 2 * p - 1, 3 * f + 1)
+    block_count = draw(st.integers(min_value=1, max_value=4))
+    blocks = [f"block-{i}" for i in range(block_count)]
+    ranks = [draw(st.integers(min_value=0, max_value=3)) for _ in blocks]
+    if not any(rank == 0 for rank in ranks):
+        ranks[0] = 0
+    votes = draw(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=n - 1),
+                      st.integers(min_value=0, max_value=block_count - 1)),
+            max_size=3 * n,
+        )
+    )
+    return n, f, p, blocks, ranks, votes
+
+
+@given(fast_vote_scenario())
+def test_unlock_evaluation_is_monotone_and_consistent(scenario):
+    n, f, p, blocks, ranks, votes = scenario
+    state = FastPathState(unlock_threshold=f + p, fast_quorum=n - p)
+    for block_id, rank in zip(blocks, ranks):
+        state.record_block(block_id, rank)
+    unlocked_so_far = set()
+    was_all_unlocked = False
+    for voter, block_index in votes:
+        state.record_fast_vote(blocks[block_index], voter)
+        decision = state.evaluate_unlocks()
+        # Monotonicity: unlocked blocks stay unlocked, condition 2 is sticky.
+        assert unlocked_so_far <= set(decision.unlocked_blocks) or decision.all_unlocked
+        assert not (was_all_unlocked and not decision.all_unlocked)
+        unlocked_so_far = set(decision.unlocked_blocks)
+        was_all_unlocked = decision.all_unlocked
+        # A fast-finalizable block is always unlocked (n - p > f + p at the bound).
+        for block_id in state.fast_finalizable_blocks():
+            assert block_id in decision.unlocked_blocks
+
+
+@given(fast_vote_scenario())
+def test_fp_finalized_block_is_unique(scenario):
+    """At most one rank-0 block can reach n - p fast votes when each replica
+    votes once (Lemma 8.5's core counting argument)."""
+    n, f, p, blocks, ranks, votes = scenario
+    state = FastPathState(unlock_threshold=f + p, fast_quorum=n - p)
+    for block_id, rank in zip(blocks, ranks):
+        state.record_block(block_id, rank)
+    voted = set()
+    for voter, block_index in votes:
+        if voter in voted:
+            continue  # honest replicas cast at most one fast vote per round
+        voted.add(voter)
+        state.record_fast_vote(blocks[block_index], voter)
+    assert len(state.fast_finalizable_blocks()) <= 1
+
+
+# --------------------------------------------------------------------- #
+# Statistics helpers
+# --------------------------------------------------------------------- #
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=50))
+def test_percentile_bounds_and_ordering(values):
+    assert min(values) <= median(values) <= max(values)
+    assert percentile(values, 0) == min(values)
+    assert percentile(values, 100) == max(values)
+    assert median(values) <= percentile(values, 95) + 1e-9
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=2, max_size=50))
+def test_variance_non_negative_and_stddev_consistent(values):
+    assert variance(values) >= 0
+    assert math.isclose(stddev(values) ** 2, variance(values), rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=50),
+       st.floats(min_value=-1e5, max_value=1e5, allow_nan=False))
+def test_mean_shift_invariance(values, shift):
+    shifted = [v + shift for v in values]
+    assert math.isclose(mean(shifted), mean(values) + shift, rel_tol=1e-9, abs_tol=1e-6)

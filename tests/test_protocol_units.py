@@ -1,0 +1,280 @@
+"""Protocol-rule unit tests driven through a fake replica context.
+
+These exercise individual ICC/Banyan rules (validity, vote emission, what a
+proposal carries, round advancement conditions) without a network: a fake
+context records every action the replica takes, and messages are injected
+directly via ``on_message``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+import pytest
+
+from repro.core.banyan import BanyanReplica
+from repro.protocols.base import ProtocolParams
+from repro.protocols.icc import ICCReplica
+from repro.runtime.context import ReplicaContext, Timer
+from repro.types.blocks import Block, genesis_block
+from repro.types.certificates import Notarization, UnlockProof
+from repro.types.messages import BlockProposal, CertificateMessage, VoteMessage
+from repro.types.votes import FastVote, NotarizationVote, VoteKind
+
+
+class FakeContext(ReplicaContext):
+    """Records every action; time is advanced manually by the test."""
+
+    def __init__(self, replica_id: int, n: int) -> None:
+        self._replica_id = replica_id
+        self._n = n
+        self.time = 0.0
+        self.sent: List[Tuple[int, Any]] = []
+        self.broadcasts: List[Any] = []
+        self.timers: List[Tuple[float, str, Any]] = []
+        self.committed: List[Tuple[Block, str]] = []
+
+    @property
+    def replica_id(self) -> int:
+        return self._replica_id
+
+    @property
+    def replica_ids(self) -> list:
+        return list(range(self._n))
+
+    def now(self) -> float:
+        return self.time
+
+    def send(self, receiver: int, message) -> None:
+        self.sent.append((receiver, message))
+
+    def broadcast(self, message) -> None:
+        self.broadcasts.append(message)
+
+    def set_timer(self, delay: float, name: str, data: Any = None) -> int:
+        self.timers.append((self.time + delay, name, data))
+        return len(self.timers)
+
+    def cancel_timer(self, timer_id: int) -> None:
+        pass
+
+    def commit(self, blocks, finalization_kind: str = "slow") -> None:
+        for block in blocks:
+            self.committed.append((block, finalization_kind))
+
+    # Test helpers -------------------------------------------------------
+
+    def broadcast_messages(self, message_type):
+        return [m for m in self.broadcasts if isinstance(m, message_type)]
+
+    def broadcast_votes(self, kind: Optional[VoteKind] = None):
+        votes = [v for m in self.broadcast_messages(VoteMessage) for v in m.votes]
+        if kind is None:
+            return votes
+        return [v for v in votes if v.kind is kind]
+
+
+def _params(n=4, f=1, p=1):
+    return ProtocolParams(n=n, f=f, p=p, rank_delay=0.4, payload_size=100)
+
+
+def _proposal(block: Block, parent_voters=None, proposer_fast_vote=True,
+              unlock_support=None) -> BlockProposal:
+    """Build a proposal message the way an honest Banyan peer would."""
+    parent_notarization = None
+    if parent_voters is not None and block.parent_id is not None:
+        parent_notarization = Notarization(
+            round=block.round - 1, block_id=block.parent_id, voters=frozenset(parent_voters)
+        )
+    unlock_proof = None
+    if unlock_support is not None and block.parent_id is not None:
+        unlock_proof = UnlockProof(
+            round=block.round - 1, block_id=block.parent_id,
+            votes_by_block=((block.parent_id, frozenset(unlock_support)),),
+        )
+    fast_vote = None
+    if proposer_fast_vote and block.rank == 0:
+        fast_vote = FastVote(round=block.round, block_id=block.id, voter=block.proposer)
+    return BlockProposal(block=block, parent_notarization=parent_notarization,
+                         parent_unlock_proof=unlock_proof, fast_vote=fast_vote)
+
+
+class TestICCUnitRules:
+    def test_leader_proposes_immediately_on_start(self):
+        replica = ICCReplica(0, _params())
+        ctx = FakeContext(0, 4)
+        # Round 1's round-robin leader is replica 1, so replica 0 only arms a
+        # proposal timer; replica 1 proposes immediately.
+        replica.on_start(ctx)
+        assert not ctx.broadcast_messages(BlockProposal)
+        assert any(name == "propose" for _, name, _ in ctx.timers)
+
+        leader = ICCReplica(1, _params())
+        leader_ctx = FakeContext(1, 4)
+        leader.on_start(leader_ctx)
+        proposals = leader_ctx.broadcast_messages(BlockProposal)
+        assert len(proposals) == 1
+        assert proposals[0].block.round == 1
+        assert proposals[0].block.parent_id == genesis_block().id
+
+    def test_notarization_vote_for_valid_leader_block(self):
+        replica = ICCReplica(0, _params())
+        ctx = FakeContext(0, 4)
+        replica.on_start(ctx)
+        block = Block(round=1, proposer=1, rank=0, parent_id=genesis_block().id, payload=b"x")
+        replica.on_message(ctx, 1, _proposal(block))
+        votes = ctx.broadcast_votes(VoteKind.NOTARIZATION)
+        assert [v.block_id for v in votes] == [block.id]
+
+    def test_block_with_wrong_rank_is_ignored(self):
+        replica = ICCReplica(0, _params())
+        ctx = FakeContext(0, 4)
+        replica.on_start(ctx)
+        # Proposer 2 has rank 1 in round 1 (round-robin), not rank 0.
+        block = Block(round=1, proposer=2, rank=0, parent_id=genesis_block().id, payload=b"x")
+        replica.on_message(ctx, 2, _proposal(block))
+        assert block.id not in replica.tree
+        assert not ctx.broadcast_votes()
+
+    def test_higher_rank_block_waits_for_notarization_delay(self):
+        replica = ICCReplica(0, _params())
+        ctx = FakeContext(0, 4)
+        replica.on_start(ctx)
+        block = Block(round=1, proposer=2, rank=1, parent_id=genesis_block().id, payload=b"x")
+        replica.on_message(ctx, 2, _proposal(block))
+        # Rank-1 blocks may only be voted after Δ_notary(1) = 0.4 s.
+        assert not ctx.broadcast_votes(VoteKind.NOTARIZATION)
+        assert any(name == "notarize" for _, name, _ in ctx.timers)
+        ctx.time = 0.5
+        replica.on_timer(ctx, Timer(name="notarize", fire_time=0.4, data=1))
+        assert [v.block_id for v in ctx.broadcast_votes(VoteKind.NOTARIZATION)] == [block.id]
+
+    def test_round_advances_after_notarization_quorum(self):
+        replica = ICCReplica(0, _params())
+        ctx = FakeContext(0, 4)
+        replica.on_start(ctx)
+        block = Block(round=1, proposer=1, rank=0, parent_id=genesis_block().id, payload=b"x")
+        replica.on_message(ctx, 1, _proposal(block))
+        for voter in (1, 2, 3):
+            vote = NotarizationVote(round=1, block_id=block.id, voter=voter)
+            replica.on_message(ctx, voter, VoteMessage(votes=(vote,), sender=voter))
+        assert replica.tree.is_notarized(block.id)
+        assert replica.current_round == 2
+        # Having voted only for this block, the replica also finalization-votes.
+        assert [v.block_id for v in ctx.broadcast_votes(VoteKind.FINALIZATION)] == [block.id]
+
+    def test_finalization_quorum_commits_the_chain(self):
+        replica = ICCReplica(0, _params())
+        ctx = FakeContext(0, 4)
+        replica.on_start(ctx)
+        block = Block(round=1, proposer=1, rank=0, parent_id=genesis_block().id, payload=b"x")
+        replica.on_message(ctx, 1, _proposal(block))
+        for voter in (1, 2, 3):
+            notarization = NotarizationVote(round=1, block_id=block.id, voter=voter)
+            finalization_vote = replica._make_vote(VoteKind.FINALIZATION, 1, block.id)
+            replica.on_message(ctx, voter, VoteMessage(votes=(notarization,), sender=voter))
+        from repro.types.votes import FinalizationVote
+
+        for voter in (1, 2, 3):
+            vote = FinalizationVote(round=1, block_id=block.id, voter=voter)
+            replica.on_message(ctx, voter, VoteMessage(votes=(vote,), sender=voter))
+        assert [b.round for b, _ in ctx.committed] == [1]
+        assert replica.k_max == 1
+
+
+class TestBanyanUnitRules:
+    def test_rank0_proposal_without_proposer_fast_vote_is_invalid(self):
+        replica = BanyanReplica(0, _params())
+        ctx = FakeContext(0, 4)
+        replica.on_start(ctx)
+        block = Block(round=1, proposer=1, rank=0, parent_id=genesis_block().id, payload=b"x")
+        replica.on_message(ctx, 1, _proposal(block, proposer_fast_vote=False))
+        # The block is stored but not voted for (validity rule, Alg. 2 line 63).
+        assert not ctx.broadcast_votes()
+
+    def test_first_vote_carries_a_fast_vote(self):
+        replica = BanyanReplica(0, _params())
+        ctx = FakeContext(0, 4)
+        replica.on_start(ctx)
+        block = Block(round=1, proposer=1, rank=0, parent_id=genesis_block().id, payload=b"x")
+        replica.on_message(ctx, 1, _proposal(block))
+        assert [v.block_id for v in ctx.broadcast_votes(VoteKind.NOTARIZATION)] == [block.id]
+        assert [v.block_id for v in ctx.broadcast_votes(VoteKind.FAST)] == [block.id]
+
+    def test_leader_proposal_carries_fast_vote_and_parent_unlock_proof(self):
+        params = _params()
+        leader = BanyanReplica(1, params)
+        ctx = FakeContext(1, 4)
+        leader.on_start(ctx)
+        proposals = ctx.broadcast_messages(BlockProposal)
+        assert len(proposals) == 1
+        proposal = proposals[0]
+        assert proposal.fast_vote is not None
+        assert proposal.fast_vote.voter == 1
+        assert proposal.fast_vote.block_id == proposal.block.id
+        # Extending genesis needs no unlock proof; extending a later block does.
+        assert proposal.parent_unlock_proof is None
+
+    def test_round_advance_requires_unlock(self):
+        """A notarized but not unlocked block must not advance the round
+        (Restriction 2); the unlock arrives via fast votes."""
+        replica = BanyanReplica(0, _params())
+        ctx = FakeContext(0, 4)
+        replica.on_start(ctx)
+        block = Block(round=1, proposer=1, rank=0, parent_id=genesis_block().id, payload=b"x")
+        # Deliver the block without its proposer fast vote: invalid for voting,
+        # so our replica never fast-votes it either.
+        replica.on_message(ctx, 1, _proposal(block, proposer_fast_vote=False))
+        for voter in (1, 2, 3):
+            vote = NotarizationVote(round=1, block_id=block.id, voter=voter)
+            replica.on_message(ctx, voter, VoteMessage(votes=(vote,), sender=voter))
+        assert replica.tree.is_notarized(block.id)
+        assert replica.current_round == 1  # still stuck: no unlock, no own fast vote
+        # Now the proposer's fast vote and two more fast votes arrive: the
+        # block unlocks (support > f + p = 2) and the replica can advance.
+        replica.on_message(ctx, 1, _proposal(block, proposer_fast_vote=True))
+        for voter in (2, 3):
+            fast = FastVote(round=1, block_id=block.id, voter=voter)
+            replica.on_message(ctx, voter, VoteMessage(votes=(fast,), sender=voter))
+        assert replica.tree.is_unlocked(block.id)
+        assert replica.current_round == 2
+
+    def test_fast_quorum_fp_finalizes_rank0_block(self):
+        replica = BanyanReplica(0, _params())
+        ctx = FakeContext(0, 4)
+        replica.on_start(ctx)
+        block = Block(round=1, proposer=1, rank=0, parent_id=genesis_block().id, payload=b"x")
+        replica.on_message(ctx, 1, _proposal(block))
+        for voter in (2, 3):
+            fast = FastVote(round=1, block_id=block.id, voter=voter)
+            replica.on_message(ctx, voter, VoteMessage(votes=(fast,), sender=voter))
+        # proposer (1) + replicas 2, 3 = 3 = n - p fast votes → FP-finalized.
+        assert [(b.round, kind) for b, kind in ctx.committed] == [(1, "fast")]
+        assert replica.fast_finalized_count == 1
+        # A fast finalization certificate is broadcast (Addition 4).
+        certificates = ctx.broadcast_messages(CertificateMessage)
+        assert any(
+            c.certificate is not None and c.certificate.__class__.__name__ == "FastFinalization"
+            for c in certificates
+        )
+
+    def test_non_leader_blocks_never_fp_finalize(self):
+        replica = BanyanReplica(0, _params())
+        ctx = FakeContext(0, 4)
+        replica.on_start(ctx)
+        ctx.time = 1.0  # past the notarization delay for rank-1 blocks
+        block = Block(round=1, proposer=2, rank=1, parent_id=genesis_block().id, payload=b"x")
+        replica.on_message(ctx, 2, _proposal(block, proposer_fast_vote=False))
+        for voter in (1, 2, 3):
+            fast = FastVote(round=1, block_id=block.id, voter=voter)
+            replica.on_message(ctx, voter, VoteMessage(votes=(fast,), sender=voter))
+        # Even with n - p fast votes a rank-1 block is never FP-finalized.
+        assert all(kind != "fast" for _, kind in ctx.committed)
+
+    def test_banyan_quorum_is_smaller_than_icc_quorum_at_n19(self):
+        params = ProtocolParams(n=19, f=4, p=4, rank_delay=0.4)
+        replica = BanyanReplica(0, params)
+        assert replica.notarization_quorum == 12  # ceil((19 + 4 + 1)/2)
+        assert replica.fast_quorum == 15
+        icc = ICCReplica(0, params)
+        assert icc.notarization_quorum == 15  # n - f

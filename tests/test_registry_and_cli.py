@@ -1,0 +1,105 @@
+"""Tests for the protocol registry and the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.protocols.base import Protocol, ProtocolParams
+from repro.protocols.registry import (
+    available_protocols,
+    create_replicas,
+    protocol_factory,
+    register_protocol,
+)
+
+
+class TestRegistry:
+    def test_all_four_protocols_available(self):
+        assert set(available_protocols()) >= {"banyan", "icc", "hotstuff", "streamlet"}
+
+    def test_factory_lookup(self):
+        from repro.core.banyan import BanyanReplica
+
+        assert protocol_factory("banyan") is BanyanReplica
+
+    def test_unknown_protocol_raises_with_hint(self):
+        with pytest.raises(KeyError) as excinfo:
+            protocol_factory("nope")
+        assert "available" in str(excinfo.value)
+
+    def test_create_replicas_builds_full_set(self):
+        params = ProtocolParams(n=4, f=1, p=1)
+        replicas = create_replicas("banyan", params)
+        assert sorted(replicas) == [0, 1, 2, 3]
+        assert all(r.params is params for r in replicas.values())
+
+    def test_create_replicas_shares_one_beacon(self):
+        params = ProtocolParams(n=4, f=1)
+        replicas = create_replicas("icc", params)
+        beacons = {id(r.beacon) for r in replicas.values()}
+        assert len(beacons) == 1
+
+    def test_overrides_plant_custom_replicas(self):
+        class Lazy(Protocol):
+            name = "lazy"
+
+            def __init__(self, replica_id, params, **_):
+                super().__init__(replica_id, params)
+
+            def on_start(self, ctx):
+                pass
+
+            def on_message(self, ctx, sender, message):
+                pass
+
+            def on_timer(self, ctx, timer):
+                pass
+
+        params = ProtocolParams(n=4, f=1)
+        replicas = create_replicas("icc", params, overrides={2: Lazy})
+        assert replicas[2].name == "lazy"
+        assert replicas[1].name == "icc"
+
+    def test_sign_messages_creates_registry(self):
+        params = ProtocolParams(n=4, f=1, sign_messages=True)
+        replicas = create_replicas("icc", params)
+        assert all(r.registry is not None for r in replicas.values())
+        registries = {id(r.registry) for r in replicas.values()}
+        assert len(registries) == 1
+
+    def test_register_additional_protocol(self):
+        from repro.protocols.icc import ICCReplica
+
+        register_protocol("icc-alias", ICCReplica)
+        assert "icc-alias" in available_protocols()
+        assert protocol_factory("icc-alias") is ICCReplica
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "banyan" in out and "6a" in out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1", "--f", "6", "--p", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Banyan" in out and "2δ" in out
+
+    def test_run_command_small(self, capsys):
+        assert main([
+            "run", "--protocol", "banyan", "--n", "4", "--f", "1", "--p", "1",
+            "--payload", "10000", "--duration", "6", "--topology", "global4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean_latency_ms" in out
+
+    def test_figure_command_quick(self, capsys):
+        assert main(["figure", "6b", "--duration", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6b" in out and "banyan (p=1)" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "9z"])
