@@ -1,6 +1,6 @@
 """Statistics and report formatting for experiment results."""
 
-from repro.analysis.report import format_table, render_series
+from repro.analysis.report import format_table, render_series, render_timeseries, sparkline
 from repro.analysis.stats import (
     confidence_interval_95,
     improvement_pct,
@@ -19,6 +19,8 @@ __all__ = [
     "median",
     "percentile",
     "render_series",
+    "render_timeseries",
+    "sparkline",
     "stddev",
     "variance",
 ]

@@ -29,6 +29,61 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> st
     return "\n".join(lines)
 
 
+#: Glyph ramp used by :func:`sparkline`, lowest to highest.
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 64) -> str:
+    """Render ``values`` as a one-line ASCII intensity chart.
+
+    Values are bucketed down to at most ``width`` characters (bucket mean)
+    and scaled to the observed maximum, clamping negatives to the baseline.
+    An all-zero or empty series renders as spaces, so rising-and-draining
+    shapes (e.g. mempool occupancy during a flash crowd) are visible at a
+    glance in plain terminals.
+    """
+    if not values:
+        return ""
+    values = list(values)
+    if len(values) > width:
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket):max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            / max(int((i + 1) * bucket) - int(i * bucket), 1)
+            for i in range(width)
+        ]
+    peak = max(values)
+    if peak <= 0:
+        return " " * len(values)
+    top = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[round(min(max(value / peak, 0.0), 1.0) * top)] for value in values
+    )
+
+
+def render_timeseries(title: str, times: Sequence[float], values: Sequence[float],
+                      width: int = 64, unit: str = "") -> str:
+    """Render a time series as a labelled sparkline block.
+
+    Args:
+        title: caption printed above the chart.
+        times: sample timestamps (seconds); only the endpoints are labelled.
+        values: sample values, same length as ``times``.
+        width: maximum chart width in characters.
+        unit: unit suffix for the peak label.
+    """
+    if len(times) != len(values):
+        raise ValueError("times and values must have the same length")
+    if not values:
+        return f"{title}\n(no samples)"
+    peak = max(values)
+    chart = sparkline(values, width=width)
+    span = f"t={times[0]:.1f}s .. t={times[-1]:.1f}s"
+    return (f"{title}\n"
+            f"|{chart}| peak {peak:g}{unit}\n"
+            f" {span}, {len(values)} samples")
+
+
 def render_series(title: str, series: Mapping[str, Sequence[Mapping[str, object]]],
                   columns: Sequence[str]) -> str:
     """Render one figure's data as per-protocol sections.

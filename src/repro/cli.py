@@ -6,6 +6,8 @@ Usage::
     banyan-repro figure 6a [--duration 20]
     banyan-repro figure 6d
     banyan-repro run --protocol banyan --n 19 --f 6 --p 1 --payload 400000
+    banyan-repro workload saturation --rates 10,30,60,120
+    banyan-repro workload flash-crowd --burst-rate 250
     banyan-repro list
 
 The output is plain text: the same rows/series the paper reports, rendered
@@ -15,10 +17,11 @@ with :mod:`repro.analysis.report`.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional
 
-from repro.analysis.report import format_table
+from repro.analysis.report import format_table, render_timeseries
 from repro.eval import scenarios
 from repro.eval.experiment import ExperimentConfig, run_experiment
 from repro.eval.table1 import table1_rows
@@ -41,6 +44,22 @@ _TOPOLOGIES = {
     "us4": four_us_datacenters,
     "worldwide": worldwide_datacenters,
 }
+
+_WORKLOADS = {
+    "saturation": scenarios.saturation_sweep,
+    "flash-crowd": scenarios.flash_crowd,
+}
+
+
+def _rate_list(text: str) -> List[float]:
+    """Parse a comma-separated rate list, e.g. ``"10,30,60"``."""
+    try:
+        rates = [float(rate) for rate in text.split(",") if rate.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid rate list {text!r}")
+    if not rates or any(not math.isfinite(rate) or rate <= 0 for rate in rates):
+        raise argparse.ArgumentTypeError("rates must be finite positive numbers")
+    return rates
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -70,7 +89,31 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--topology", choices=sorted(_TOPOLOGIES), default="global4")
     run_parser.add_argument("--seed", type=int, default=0)
 
-    subparsers.add_parser("list", help="list available protocols and figures")
+    workload_parser = subparsers.add_parser(
+        "workload", help="run a client-workload scenario (end-to-end tx latency)"
+    )
+    workload_parser.add_argument("name", choices=sorted(_WORKLOADS),
+                                 help="workload scenario to run")
+    workload_parser.add_argument("--protocol", choices=available_protocols(),
+                                 default=None)
+    workload_parser.add_argument("--n", type=int, default=None)
+    workload_parser.add_argument("--f", type=int, default=None)
+    workload_parser.add_argument("--p", type=int, default=None)
+    workload_parser.add_argument("--tx-size", type=int, default=None,
+                                 help="transaction size in bytes")
+    workload_parser.add_argument("--max-block-bytes", type=int, default=None,
+                                 help="per-proposal byte budget drained from the mempool")
+    workload_parser.add_argument("--duration", type=float, default=None,
+                                 help="simulated duration (seconds)")
+    workload_parser.add_argument("--seed", type=int, default=0)
+    workload_parser.add_argument("--rates", type=_rate_list, default=None,
+                                 help="saturation sweep rates, e.g. 10,30,60,120 (tx/s)")
+    workload_parser.add_argument("--base-rate", type=float, default=None,
+                                 help="flash-crowd baseline rate (tx/s)")
+    workload_parser.add_argument("--burst-rate", type=float, default=None,
+                                 help="flash-crowd burst rate (tx/s)")
+
+    subparsers.add_parser("list", help="list available protocols, figures, and workloads")
     return parser
 
 
@@ -104,9 +147,59 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workload(args: argparse.Namespace) -> int:
+    # None-valued flags fall through to the scenario defaults.
+    kwargs = {"seed": args.seed}
+    for name in ("protocol", "n", "f", "p", "tx_size", "max_block_bytes",
+                 "duration"):
+        value = getattr(args, name)
+        if value is not None:
+            kwargs[name] = value
+    try:
+        if args.name == "saturation":
+            if args.base_rate is not None or args.burst_rate is not None:
+                print("banyan-repro workload: error: --base-rate/--burst-rate "
+                      "apply only to flash-crowd", file=sys.stderr)
+                return 2
+            if args.rates is not None:
+                kwargs["rates"] = args.rates
+            figure = scenarios.saturation_sweep(**kwargs)
+        else:
+            if args.rates is not None:
+                print("banyan-repro workload: error: --rates applies only to "
+                      "saturation", file=sys.stderr)
+                return 2
+            if args.base_rate is not None:
+                kwargs["base_rate"] = args.base_rate
+            if args.burst_rate is not None:
+                kwargs["burst_rate"] = args.burst_rate
+            figure = scenarios.flash_crowd(**kwargs)
+    except ValueError as exc:
+        # Invalid workload/protocol configurations (e.g. --tx-size above
+        # --max-block-bytes) surface as friendly CLI errors.
+        print(f"banyan-repro workload: error: {exc}", file=sys.stderr)
+        return 2
+    print(figure.render())
+    # The story behind the table is in the occupancy curves: show them
+    # inline, labelled with the offered rate that produced each one.
+    for result in figure.results:
+        if result.workload is not None and result.workload.occupancy:
+            samples = result.workload.occupancy
+            rate = result.config.workload.rate
+            print()
+            print(render_timeseries(
+                f"mempool occupancy over time [{result.label} @ {rate:g} tx/s]",
+                [sample.time for sample in samples],
+                [float(sample.transactions) for sample in samples],
+                unit=" tx",
+            ))
+    return 0
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     print("protocols:", ", ".join(available_protocols()))
     print("figures:  ", ", ".join(sorted(_FIGURES)))
+    print("workloads:", ", ".join(sorted(_WORKLOADS)))
     return 0
 
 
@@ -118,6 +211,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table1": _cmd_table1,
         "figure": _cmd_figure,
         "run": _cmd_run,
+        "workload": _cmd_workload,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

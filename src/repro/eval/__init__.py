@@ -17,6 +17,8 @@ from repro.eval.scenarios import (
     figure_6c,
     figure_6d,
     figure_6e,
+    flash_crowd,
+    saturation_sweep,
 )
 from repro.eval.table1 import TABLE1_SPECS, ProtocolSpec, table1_rows
 
@@ -32,6 +34,8 @@ __all__ = [
     "figure_6c",
     "figure_6d",
     "figure_6e",
+    "flash_crowd",
     "run_experiment",
+    "saturation_sweep",
     "table1_rows",
 ]

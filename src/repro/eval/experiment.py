@@ -20,8 +20,10 @@ from repro.net.topology import Topology, four_global_datacenters
 from repro.protocols.base import ProtocolParams
 from repro.protocols.registry import create_replicas
 from repro.runtime.simulator import NetworkConfig, Simulation
-from repro.smr.metrics import MetricsCollector, RunMetrics
+from repro.smr.metrics import MetricsCollector, RunMetrics, WorkloadMetrics
 from repro.smr.mempool import PayloadSource
+from repro.workload.payloads import MempoolPayloadSource
+from repro.workload.spec import WorkloadSpec
 
 
 @dataclass
@@ -44,6 +46,12 @@ class ExperimentConfig:
         observer: replica whose commits define throughput; defaults to the
             lowest-id non-crashed replica.
         label: label used in reports (defaults to the protocol name).
+        workload: optional client workload driving the run.  When set,
+            proposals are built from the transactions pending in the
+            proposer's mempool and the result additionally carries
+            end-to-end :class:`repro.smr.metrics.WorkloadMetrics`; when
+            unset, proposals use the paper's synthetic bit-vector payloads
+            of ``params.payload_size`` bytes.
     """
 
     protocol: str
@@ -56,6 +64,7 @@ class ExperimentConfig:
     latency: Optional[LatencyModel] = None
     observer: Optional[int] = None
     label: Optional[str] = None
+    workload: Optional[WorkloadSpec] = None
 
     def resolved_topology(self) -> Topology:
         """The topology to use (default: 4 global datacenters)."""
@@ -75,12 +84,15 @@ class ExperimentResult:
         metrics: the aggregated run metrics.
         messages_sent: total messages handed to the network.
         bytes_sent: total logical bytes handed to the network.
+        workload: end-to-end client metrics; ``None`` unless the run was
+            driven by a :class:`repro.workload.spec.WorkloadSpec`.
     """
 
     config: ExperimentConfig
     metrics: RunMetrics
     messages_sent: int
     bytes_sent: int
+    workload: Optional[WorkloadMetrics] = None
 
     @property
     def label(self) -> str:
@@ -90,7 +102,7 @@ class ExperimentResult:
     def row(self) -> Dict[str, object]:
         """A flat dictionary row for report tables."""
         summary = self.metrics.summary()
-        return {
+        row: Dict[str, object] = {
             "protocol": self.label,
             "payload_bytes": self.config.params.payload_size,
             "mean_latency_ms": round(summary["mean_latency_s"] * 1000, 1),
@@ -101,6 +113,25 @@ class ExperimentResult:
             "block_interval_ms": round(summary["mean_block_interval_s"] * 1000, 1),
             "fast_path_ratio": round(summary["fast_path_ratio"], 3),
             "committed_blocks": int(summary["committed_blocks"]),
+        }
+        if self.workload is not None:
+            row.update(self.workload_row())
+        return row
+
+    def workload_row(self) -> Dict[str, object]:
+        """The client-workload columns (empty when no workload was attached)."""
+        if self.workload is None:
+            return {}
+        return {
+            "submitted_tx": self.workload.submitted,
+            "committed_tx": self.workload.committed,
+            "dropped_tx": self.workload.dropped,
+            "pending_tx": self.workload.pending,
+            "tx_p50_ms": round(self.workload.p50_latency * 1000, 1),
+            "tx_p95_ms": round(self.workload.p95_latency * 1000, 1),
+            "tx_p99_ms": round(self.workload.p99_latency * 1000, 1),
+            "goodput_tx_per_s": round(self.workload.goodput_tx_per_s, 2),
+            "peak_mempool_depth": self.workload.peak_mempool_depth,
         }
 
 
@@ -116,11 +147,21 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     network = NetworkConfig(
         latency=latency, bandwidth=bandwidth, faults=config.faults, seed=config.seed
     )
-    payload_source = PayloadSource(config.params.payload_size)
+    pool = None
+    if config.workload is not None:
+        # Proposals carry real pending transactions; idle rounds stay empty.
+        pool = config.workload.build_pool()
+        payload_source = MempoolPayloadSource(
+            pool, max_block_bytes=config.workload.max_block_bytes
+        )
+    else:
+        payload_source = PayloadSource(config.params.payload_size)
     replicas = create_replicas(
         config.protocol, config.params, payload_source=payload_source
     )
     simulation = Simulation(replicas, network)
+    if pool is not None:
+        pool.attach(simulation, stop_time=config.duration)
     observer = config.observer
     if observer is None:
         correct = config.faults.correct_replicas(simulation.replica_ids)
@@ -143,6 +184,11 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         metrics=metrics,
         messages_sent=simulation.messages_sent,
         bytes_sent=simulation.bytes_sent,
+        workload=(
+            pool.metrics(max(config.duration - config.warmup, 1e-9),
+                         warmup=config.warmup)
+            if pool is not None else None
+        ),
     )
 
 

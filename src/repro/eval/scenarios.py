@@ -38,6 +38,7 @@ from repro.protocols.registry import create_replicas
 from repro.runtime.simulator import NetworkConfig, Simulation
 from repro.smr.metrics import MetricsCollector
 from repro.smr.mempool import PayloadSource
+from repro.workload.spec import WorkloadSpec
 
 #: Per-rank delay (``2Δ``) used for the global-topology experiments; chosen
 #: above the largest simulated one-way delay so fault-free rounds have a
@@ -59,18 +60,22 @@ class FigureResult:
         title: human-readable description.
         series: protocol label → list of result rows (dictionaries).
         results: the underlying experiment results.
+        columns: report columns; ``None`` selects the figure default
+            (workload scenarios report client-side columns instead).
     """
 
     figure: str
     title: str
     series: Dict[str, List[Dict[str, object]]]
     results: List[ExperimentResult] = field(default_factory=list)
+    columns: Optional[List[str]] = None
 
     def render(self) -> str:
         """Render the figure's data as a plain-text report."""
-        columns = ["payload_bytes", "mean_latency_ms", "p95_latency_ms",
-                   "latency_stddev_ms", "throughput_MBps", "block_interval_ms",
-                   "fast_path_ratio", "committed_blocks"]
+        columns = self.columns or [
+            "payload_bytes", "mean_latency_ms", "p95_latency_ms",
+            "latency_stddev_ms", "throughput_MBps", "block_interval_ms",
+            "fast_path_ratio", "committed_blocks"]
         return render_series(f"Figure {self.figure}: {self.title}", self.series, columns)
 
     def mean_latency(self, label: str, payload_bytes: Optional[int] = None) -> float:
@@ -276,6 +281,101 @@ def figure_6e(payload_sizes: Sequence[int] = (1_000_000,), duration: float = 20.
     lineup = _lineup_n19(GLOBAL_RANK_DELAY, payload_sizes[0])
     return _run_sweep("6e", "n=19 across a worldwide network (19 datacenters)",
                       lineup, topology, payload_sizes, duration, warmup, seed)
+
+
+# --------------------------------------------------------------------- #
+# Client-workload scenarios (beyond the paper: true end-to-end latency)
+# --------------------------------------------------------------------- #
+
+#: Columns reported by the workload scenarios: offered load on the left,
+#: client-observed behaviour on the right.
+WORKLOAD_COLUMNS = [
+    "offered_tx_per_s", "submitted_tx", "committed_tx", "dropped_tx",
+    "pending_tx", "tx_p50_ms", "tx_p95_ms", "tx_p99_ms",
+    "goodput_tx_per_s", "peak_mempool_depth",
+]
+
+
+def saturation_sweep(rates: Sequence[float] = (10, 30, 60, 120),
+                     protocol: str = "banyan", n: int = 4, f: int = 1, p: int = 1,
+                     tx_size: int = 512, max_block_bytes: int = 65_536,
+                     duration: float = 30.0, seed: int = 0) -> FigureResult:
+    """Open-loop Poisson saturation sweep: offered load vs. client latency.
+
+    For each arrival rate, clients submit fixed-size transactions to their
+    local replica's mempool following a Poisson process; proposals drain the
+    proposer's mempool up to the block budget.  Below saturation, goodput
+    tracks the offered rate and submit→commit latency stays near the
+    consensus floor; past saturation, mempools back up and client latency
+    grows without bound — the knee is the system's capacity.
+    """
+    topology = four_global_datacenters(n)
+    params = ProtocolParams(n=n, f=f, p=p, rank_delay=GLOBAL_RANK_DELAY)
+    label = f"{protocol} (n={n}, poisson)"
+    series: Dict[str, List[Dict[str, object]]] = {label: []}
+    results: List[ExperimentResult] = []
+    for rate in rates:
+        workload = WorkloadSpec(
+            mode="open", arrival="poisson", rate=float(rate), tx_size=tx_size,
+            max_block_bytes=max_block_bytes, seed=seed,
+        )
+        config = ExperimentConfig(
+            protocol=protocol, params=params, topology=topology,
+            duration=duration, warmup=0.0, seed=seed, label=label,
+            workload=workload,
+        )
+        result = run_experiment(config)
+        results.append(result)
+        row = result.row()
+        row["offered_tx_per_s"] = rate
+        series[label].append(row)
+    return FigureResult(
+        figure="workload-saturation",
+        title=f"open-loop Poisson saturation sweep, {protocol} n={n}",
+        series=series,
+        results=results,
+        columns=WORKLOAD_COLUMNS,
+    )
+
+
+def flash_crowd(base_rate: float = 15.0, burst_rate: float = 250.0,
+                burst_start: float = 8.0, burst_duration: float = 4.0,
+                protocol: str = "banyan", n: int = 4, f: int = 1, p: int = 1,
+                tx_size: int = 512, max_block_bytes: int = 65_536,
+                duration: float = 40.0, seed: int = 0) -> FigureResult:
+    """Flash-crowd scenario: a demand spike fills the mempools, then drains.
+
+    Arrivals run at ``base_rate`` except for a burst window at
+    ``burst_rate``.  The burst exceeds the per-round block budget, so
+    mempool occupancy climbs during the spike and the backlog drains over
+    the following rounds — visible in the occupancy samples of the result's
+    :class:`repro.smr.metrics.WorkloadMetrics`.
+    """
+    topology = four_global_datacenters(n)
+    params = ProtocolParams(n=n, f=f, p=p, rank_delay=GLOBAL_RANK_DELAY)
+    label = f"{protocol} (n={n}, flash crowd)"
+    workload = WorkloadSpec(
+        mode="open", arrival="flash-crowd", rate=base_rate,
+        burst_rate=burst_rate, burst_start=burst_start,
+        burst_duration=burst_duration, tx_size=tx_size,
+        max_block_bytes=max_block_bytes, sample_interval=0.5, seed=seed,
+    )
+    config = ExperimentConfig(
+        protocol=protocol, params=params, topology=topology,
+        duration=duration, warmup=0.0, seed=seed, label=label,
+        workload=workload,
+    )
+    result = run_experiment(config)
+    row = result.row()
+    row["offered_tx_per_s"] = base_rate
+    return FigureResult(
+        figure="workload-flash-crowd",
+        title=(f"flash crowd, {protocol} n={n}: {base_rate:g}→{burst_rate:g} tx/s "
+               f"during [{burst_start:g}s, {burst_start + burst_duration:g}s)"),
+        series={label: [row]},
+        results=[result],
+        columns=WORKLOAD_COLUMNS,
+    )
 
 
 # --------------------------------------------------------------------- #

@@ -13,12 +13,19 @@ replica ``b`` at time ``t``, it is delivered at::
 
 unless the fault plan drops it.  Crashed replicas neither send nor receive,
 and their pending timers never fire.
+
+Besides replica-driven events, callers outside the replica set (e.g. the
+client workload in :mod:`repro.workload`) can inject work into the event
+queue with :meth:`Simulation.schedule_external`: the callback runs at the
+scheduled simulation time, interleaved deterministically with message
+deliveries and timers via the same ``(time, sequence)`` ordering.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -65,8 +72,12 @@ class CommitRecord:
     finalization_kind: str
 
 
+#: Event target used for injected external events (not a replica id).
+_EXTERNAL_TARGET = -1
+
+
 class _Event:
-    """Internal event: either a message delivery or a timer firing."""
+    """Internal event: a message delivery, timer firing, or external callback."""
 
     __slots__ = ("time", "seq", "kind", "target", "payload")
 
@@ -143,6 +154,8 @@ class Simulation:
         self._seq = itertools.count()
         self._timer_ids = itertools.count(1)
         self._cancelled_timers: set = set()
+        self._pending_timers: set = set()
+        self._external_scheduled = 0
         self._contexts: Dict[int, _SimContext] = {
             replica_id: _SimContext(self, replica_id) for replica_id in self.replica_ids
         }
@@ -194,6 +207,41 @@ class Simulation:
         """Register a callback invoked on every commit record."""
         self._commit_listeners.append(listener)
 
+    @property
+    def external_events_scheduled(self) -> int:
+        """Total external events injected via :meth:`schedule_external`."""
+        return self._external_scheduled
+
+    # ------------------------------------------------------------------ #
+    # External event injection
+    # ------------------------------------------------------------------ #
+
+    def schedule_external(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at simulation time ``now + delay``.
+
+        This is the injection point for actors that live outside the replica
+        set — client workload generators, measurement probes, chaos hooks.
+        The callback runs on the simulation's event loop at the scheduled
+        time (deterministically ordered against message deliveries and
+        timers) and may itself send transactions, read state, or schedule
+        further external events.
+
+        Unlike replica timers, external events are not affected by crash
+        faults and cannot be cancelled.
+
+        Args:
+            delay: non-negative offset from the current simulation time.
+            callback: zero-argument callable invoked at the scheduled time.
+        """
+        if not math.isfinite(delay) or delay < 0:
+            raise ValueError("external event delay must be finite and non-negative")
+        if not callable(callback):
+            raise TypeError("external event callback must be callable")
+        self._external_scheduled += 1
+        event = _Event(self.now + delay, next(self._seq), "external",
+                       _EXTERNAL_TARGET, callback)
+        heapq.heappush(self._queue, event)
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
@@ -214,9 +262,12 @@ class Simulation:
             self.start()
         while self._queue:
             event = heapq.heappop(self._queue)
-            if event.kind == "timer" and event.payload.timer_id in self._cancelled_timers:
-                self._cancelled_timers.discard(event.payload.timer_id)
-                continue
+            if event.kind == "timer":
+                timer_id = event.payload.timer_id
+                self._pending_timers.discard(timer_id)
+                if timer_id in self._cancelled_timers:
+                    self._cancelled_timers.discard(timer_id)
+                    continue
             self.now = max(self.now, event.time)
             self._dispatch(event)
             return True
@@ -279,11 +330,16 @@ class Simulation:
         timer_id = next(self._timer_ids)
         timer = Timer(name=name, fire_time=self.now + delay, data=data, timer_id=timer_id)
         event = _Event(timer.fire_time, next(self._seq), "timer", replica_id, timer)
+        self._pending_timers.add(timer_id)
         heapq.heappush(self._queue, event)
         return timer_id
 
     def _cancel_timer(self, timer_id: int) -> None:
-        self._cancelled_timers.add(timer_id)
+        # Cancelling a timer that already fired (or was never armed) must be a
+        # no-op, otherwise its id lingers in the cancelled set forever.
+        if timer_id in self._pending_timers:
+            self._pending_timers.discard(timer_id)
+            self._cancelled_timers.add(timer_id)
 
     def _record_commit(self, replica_id: int, blocks: Iterable[Block], kind: str) -> None:
         for block in blocks:
@@ -298,6 +354,9 @@ class Simulation:
                 listener(record)
 
     def _dispatch(self, event: _Event) -> None:
+        if event.kind == "external":
+            event.payload()
+            return
         replica_id = event.target
         if self.network.faults.is_crashed(replica_id, self.now):
             if event.kind == "message":

@@ -15,16 +15,24 @@ them in an SMR deployment:
 
 from repro.smr.ledger import KeyValueLedger, Transaction, decode_transactions, encode_transactions
 from repro.smr.mempool import Mempool, PayloadSource
-from repro.smr.metrics import LatencySample, MetricsCollector, RunMetrics
+from repro.smr.metrics import (
+    LatencySample,
+    MetricsCollector,
+    OccupancySample,
+    RunMetrics,
+    WorkloadMetrics,
+)
 
 __all__ = [
     "KeyValueLedger",
     "LatencySample",
     "Mempool",
     "MetricsCollector",
+    "OccupancySample",
     "PayloadSource",
     "RunMetrics",
     "Transaction",
+    "WorkloadMetrics",
     "decode_transactions",
     "encode_transactions",
 ]

@@ -14,6 +14,12 @@ The paper's methodology (Section 9.2):
 :class:`MetricsCollector` listens to a simulation's commit stream, pairs
 commits with the proposal timestamps exposed by the protocols, and produces a
 :class:`RunMetrics` summary.
+
+When a client workload (:mod:`repro.workload`) drives the run, the workload
+layer additionally produces a :class:`WorkloadMetrics` summary: true
+end-to-end submit→commit latency percentiles per transaction, goodput
+(committed transactions per second), mempool occupancy over time
+(:class:`OccupancySample`), and drop/backpressure counts.
 """
 
 from __future__ import annotations
@@ -161,6 +167,117 @@ class RunMetrics:
             "mean_block_interval_s": self.mean_block_interval,
             "fast_path_ratio": self.fast_path_ratio,
             "committed_blocks": float(self.committed_blocks),
+        }
+
+
+@dataclass(frozen=True)
+class OccupancySample:
+    """A point-in-time measurement of the replicas' mempool occupancy.
+
+    Attributes:
+        time: simulation time of the sample.
+        transactions: total pending transactions across all mempools.
+        total_bytes: total pending bytes across all mempools.
+        per_replica: pending transaction count per replica id.
+    """
+
+    time: float
+    transactions: int
+    total_bytes: int
+    per_replica: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class WorkloadMetrics:
+    """End-to-end client-workload metrics of one run.
+
+    Where :class:`RunMetrics` measures *proposal* finalization latency (the
+    paper's Section 9.2 metric), this measures what a client experiences:
+    the time from submitting a transaction until the first replica commits a
+    block containing it.
+
+    Attributes:
+        duration: measured run duration in seconds.
+        submitted: transactions submitted by clients.
+        committed: transactions observed committed (deduplicated).
+        dropped: transactions rejected at submission (mempool backpressure).
+        committed_tx_bytes: total bytes of committed transactions.
+        latencies: per-transaction submit→commit latencies in seconds.
+        occupancy: mempool occupancy samples over time.
+    """
+
+    duration: float
+    submitted: int = 0
+    committed: int = 0
+    dropped: int = 0
+    committed_tx_bytes: int = 0
+    latencies: List[float] = field(default_factory=list)
+    occupancy: List[OccupancySample] = field(default_factory=list)
+
+    @property
+    def pending(self) -> int:
+        """Transactions submitted but neither committed nor dropped."""
+        return self.submitted - self.committed - self.dropped
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean submit→commit latency in seconds."""
+        return _mean(self.latencies)
+
+    @property
+    def p50_latency(self) -> float:
+        """Median submit→commit latency in seconds."""
+        return _percentile(self.latencies, 50)
+
+    @property
+    def p95_latency(self) -> float:
+        """95th-percentile submit→commit latency in seconds."""
+        return _percentile(self.latencies, 95)
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile submit→commit latency in seconds."""
+        return _percentile(self.latencies, 99)
+
+    @property
+    def goodput_tx_per_s(self) -> float:
+        """Committed transactions per second."""
+        if self.duration <= 0:
+            return 0.0
+        return self.committed / self.duration
+
+    @property
+    def goodput_bytes_per_s(self) -> float:
+        """Committed transaction bytes per second."""
+        if self.duration <= 0:
+            return 0.0
+        return self.committed_tx_bytes / self.duration
+
+    @property
+    def peak_mempool_depth(self) -> int:
+        """Largest total pending-transaction count observed in any sample."""
+        return max((sample.transactions for sample in self.occupancy), default=0)
+
+    @property
+    def final_mempool_depth(self) -> int:
+        """Total pending transactions in the last occupancy sample."""
+        return self.occupancy[-1].transactions if self.occupancy else 0
+
+    def summary(self) -> Dict[str, float]:
+        """Return the headline workload numbers as a dictionary."""
+        return {
+            "submitted_tx": float(self.submitted),
+            "committed_tx": float(self.committed),
+            "dropped_tx": float(self.dropped),
+            "pending_tx": float(self.pending),
+            "mean_latency_s": self.mean_latency,
+            "p50_latency_s": self.p50_latency,
+            "p95_latency_s": self.p95_latency,
+            "p99_latency_s": self.p99_latency,
+            "goodput_tx_per_s": self.goodput_tx_per_s,
+            "goodput_bytes_per_s": self.goodput_bytes_per_s,
+            "peak_mempool_depth": float(self.peak_mempool_depth),
+            "final_mempool_depth": float(self.final_mempool_depth),
         }
 
 

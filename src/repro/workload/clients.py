@@ -1,0 +1,349 @@
+"""Client pools: open- and closed-loop traffic injected into a simulation.
+
+:class:`ClientPool` models the population of clients that submit
+transactions to the replicated service.  It plugs into a
+:class:`repro.runtime.simulator.Simulation` through two seams:
+
+* **submission** — transaction-submission events are scheduled on the
+  simulator's event queue via :meth:`Simulation.schedule_external`, so
+  client traffic interleaves deterministically with protocol messages;
+* **completion** — a commit listener watches every replica's commit stream
+  and matches committed block payloads back to the pool's transactions,
+  yielding true end-to-end submit→commit latency.
+
+Two client models are supported:
+
+* **open loop** — an :class:`repro.workload.arrivals.ArrivalProcess` drives
+  submissions regardless of commit progress (offered load is external, the
+  system must absorb it or shed it via mempool backpressure);
+* **closed loop** — a fixed population of clients each submit one
+  transaction, wait for it to commit, think for an exponentially
+  distributed time, and submit the next (offered load is self-clocked).
+
+Each transaction is routed to one replica's mempool round-robin — the
+"clients talk to their local replica" deployment — so a crashed replica's
+pending transactions sit in its mempool exactly as they would in practice
+(no client-side retry against another replica is modelled; such
+transactions stay ``pending`` in the metrics).  Transactions drained into a
+proposal that never commits are not lost either: the next time the same
+replica proposes, its previous uncommitted batch is re-queued at the front
+of its mempool (see :meth:`ClientPool.reclaim_uncommitted`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.simulator import CommitRecord, Simulation
+from repro.smr.mempool import Mempool
+from repro.smr.metrics import OccupancySample, WorkloadMetrics
+from repro.workload.arrivals import ArrivalProcess
+from repro.workload.transactions import TxRecord, encode_transaction
+
+#: Minimum delay before a closed-loop client retries a rejected submission.
+#: A zero-delay retry at a full mempool would re-enqueue an event at the
+#: same simulation timestamp forever, starving the (later) proposal events
+#: that would drain the pool — a livelock.  The floor guarantees time
+#: advances between retries even with ``think_time = 0``.
+MIN_RETRY_DELAY = 1e-3
+
+
+class ClientPool:
+    """A population of clients submitting transactions to the replica set.
+
+    Args:
+        arrivals: open-loop arrival process; ``None`` selects the
+            closed-loop model.
+        num_clients: number of distinct clients.  In the closed-loop model
+            this is the concurrency (each client has one transaction in
+            flight); in the open-loop model it only labels submissions.
+        think_time: closed-loop mean think time between a commit and the
+            client's next submission (exponentially distributed; ``0`` means
+            immediate resubmission).
+        tx_size: logical size in bytes of each encoded transaction.
+        mempool_capacity: per-replica mempool transaction-count limit.
+        mempool_max_bytes: optional per-replica mempool byte limit.
+        sample_interval: period of the mempool occupancy probe in seconds
+            (``0`` disables sampling).
+        seed: RNG seed for arrivals, think times, and client labelling.
+    """
+
+    def __init__(
+        self,
+        arrivals: Optional[ArrivalProcess] = None,
+        num_clients: int = 8,
+        think_time: float = 0.5,
+        tx_size: int = 256,
+        mempool_capacity: int = 10_000,
+        mempool_max_bytes: Optional[int] = None,
+        sample_interval: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if tx_size <= 0:
+            raise ValueError("tx_size must be positive")
+        if think_time < 0:
+            raise ValueError("think_time must be non-negative")
+        self.arrivals = arrivals
+        self.num_clients = num_clients
+        self.think_time = think_time
+        self.tx_size = tx_size
+        self.sample_interval = sample_interval
+        self._mempool_capacity = mempool_capacity
+        self._mempool_max_bytes = mempool_max_bytes
+        self._rng = random.Random(seed)
+        self._mempools: Dict[int, Mempool] = {}
+        self._simulation: Optional[Simulation] = None
+        self._stop_time: Optional[float] = None
+        self._next_tx_id = 0
+        self._next_client = 0
+        self._next_replica_index = 0
+        #: tx id → lifecycle record.
+        self._records: Dict[int, TxRecord] = {}
+        #: block payload bytes → ids of the transactions batched into it.
+        #: Entries are removed on first commit (or when reclaimed), so the
+        #: map stays bounded by the number of in-flight proposals.
+        self._payload_txs: Dict[bytes, Tuple[int, ...]] = {}
+        #: proposer → unresolved proposed batches as (payload, tx ids,
+        #: round); entries leave the list when committed or reclaimed.
+        self._in_flight: Dict[int, List[Tuple[bytes, Tuple[int, ...], int]]] = {}
+        #: Highest block round observed committed at any replica; gates
+        #: reclaiming (a proposal is only abandoned once the chain has
+        #: committed past its round without including it).
+        self._max_committed_round = 0
+        self._committed: set = set()
+        self._occupancy: List[OccupancySample] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------ #
+    # Mempools and proposal building (used by MempoolPayloadSource)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_open_loop(self) -> bool:
+        """Whether this pool runs the open-loop (arrival-driven) model."""
+        return self.arrivals is not None
+
+    @property
+    def submitted(self) -> int:
+        """Transactions submitted so far (including dropped ones)."""
+        return len(self._records)
+
+    @property
+    def committed(self) -> int:
+        """Transactions observed committed so far (deduplicated)."""
+        return len(self._committed)
+
+    def mempool(self, replica_id: int) -> Mempool:
+        """Return (creating on first use) the mempool of ``replica_id``."""
+        pool = self._mempools.get(replica_id)
+        if pool is None:
+            pool = Mempool(max_size=self._mempool_capacity,
+                           max_bytes=self._mempool_max_bytes)
+            self._mempools[replica_id] = pool
+        return pool
+
+    def register_payload(self, payload: bytes, tx_ids: Tuple[int, ...],
+                         proposer: int, round: int) -> None:
+        """Remember which transactions a proposal payload carries."""
+        self._payload_txs[payload] = tx_ids
+        self._in_flight.setdefault(proposer, []).append((payload, tx_ids, round))
+
+    def reclaim_uncommitted(self, proposer: int) -> int:
+        """Re-queue the proposer's *abandoned* batches, if any.
+
+        A proposal can fail to commit (leader crash mid-round, losing rank,
+        asynchrony), and its transactions were already drained from the
+        mempool.  Called right before the proposer builds its next payload,
+        this pushes the still-uncommitted transactions of its abandoned
+        proposals back to the front of its mempool so they are re-proposed
+        instead of silently lost.  Returns how many were re-queued.
+
+        A batch counts as abandoned only once some replica has committed a
+        block at or past the proposal's round without it — before that the
+        block may simply be finalizing late (slow path, lagging commits),
+        and reclaiming it would commit the same transactions twice.  Batches
+        still under that gate stay tracked for the proposer's next turn.
+        """
+        batches = self._in_flight.get(proposer)
+        if not batches:
+            return 0
+        undecided: List[Tuple[bytes, Tuple[int, ...], int]] = []
+        reclaimed: List[int] = []
+        for payload, tx_ids, round in batches:
+            stale = [tx_id for tx_id in tx_ids if tx_id not in self._committed]
+            if not stale:
+                continue  # fully committed: resolved
+            if self._max_committed_round < round:
+                undecided.append((payload, tx_ids, round))
+                continue
+            self._payload_txs.pop(payload, None)
+            reclaimed.extend(stale)
+        if undecided:
+            self._in_flight[proposer] = undecided
+        else:
+            self._in_flight.pop(proposer, None)
+        if not reclaimed:
+            return 0
+        self.mempool(proposer).requeue(
+            encode_transaction(tx_id, self._records[tx_id].client_id,
+                               self._records[tx_id].size)
+            for tx_id in reclaimed
+        )
+        return len(reclaimed)
+
+    # ------------------------------------------------------------------ #
+    # Attachment and event scheduling
+    # ------------------------------------------------------------------ #
+
+    def attach(self, simulation: Simulation, stop_time: float) -> None:
+        """Wire the pool into ``simulation`` and start generating traffic.
+
+        Args:
+            simulation: the simulation to inject submission events into.
+            stop_time: simulation time after which no further submissions or
+                occupancy samples are scheduled (commits are still tracked).
+        """
+        if self._simulation is not None:
+            raise RuntimeError("client pool is already attached to a simulation")
+        if stop_time <= 0:
+            raise ValueError("stop_time must be positive")
+        self._simulation = simulation
+        self._stop_time = stop_time
+        simulation.add_commit_listener(self._on_commit)
+        if self.is_open_loop:
+            self._schedule_next_arrival()
+        else:
+            for client_id in range(self.num_clients):
+                self._schedule_client_submit(client_id, self._think_delay())
+        if self.sample_interval > 0:
+            simulation.schedule_external(self.sample_interval, self._sample_occupancy)
+
+    def _think_delay(self) -> float:
+        if self.think_time <= 0:
+            return 0.0
+        return self._rng.expovariate(1.0 / self.think_time)
+
+    def _schedule_next_arrival(self) -> None:
+        assert self._simulation is not None and self.arrivals is not None
+        delay = self.arrivals.next_interarrival(self._simulation.now, self._rng)
+        if self._simulation.now + delay > self._stop_time:
+            return
+        self._simulation.schedule_external(delay, self._on_arrival)
+
+    def _on_arrival(self) -> None:
+        client_id = self._next_client
+        self._next_client = (self._next_client + 1) % self.num_clients
+        self._submit(client_id)
+        self._schedule_next_arrival()
+
+    def _schedule_client_submit(self, client_id: int, delay: float) -> None:
+        assert self._simulation is not None
+        if self._simulation.now + delay > self._stop_time:
+            return
+        self._simulation.schedule_external(delay, lambda: self._closed_loop_submit(client_id))
+
+    def _closed_loop_submit(self, client_id: int) -> None:
+        accepted = self._submit(client_id)
+        if not accepted:
+            # The local mempool pushed back; the client retries after
+            # another think period instead of deadlocking the loop.
+            self._schedule_client_submit(
+                client_id, max(self._think_delay(), MIN_RETRY_DELAY)
+            )
+
+    def _submit(self, client_id: int) -> bool:
+        """Submit one transaction for ``client_id``; returns acceptance."""
+        assert self._simulation is not None
+        replica_ids = self._simulation.replica_ids
+        replica_id = replica_ids[self._next_replica_index % len(replica_ids)]
+        self._next_replica_index += 1
+        tx_id = self._next_tx_id
+        self._next_tx_id += 1
+        encoded = encode_transaction(tx_id, client_id, self.tx_size)
+        record = TxRecord(
+            tx_id=tx_id,
+            client_id=client_id,
+            replica_id=replica_id,
+            size=len(encoded),
+            submit_time=self._simulation.now,
+        )
+        self._records[tx_id] = record
+        if not self.mempool(replica_id).add(encoded):
+            record.dropped = True
+            self.dropped += 1
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Commit tracking
+    # ------------------------------------------------------------------ #
+
+    def _on_commit(self, record: CommitRecord) -> None:
+        if record.block.round > self._max_committed_round:
+            self._max_committed_round = record.block.round
+        # Every replica commits every block; the first one resolves the
+        # payload and the entry is dropped so the map stays bounded by the
+        # number of in-flight proposals rather than growing with the chain.
+        tx_ids = self._payload_txs.pop(record.block.payload, None)
+        if not tx_ids:
+            return
+        for tx_id in tx_ids:
+            if tx_id in self._committed:
+                continue
+            self._committed.add(tx_id)
+            tx = self._records[tx_id]
+            tx.commit_time = record.commit_time
+            if not self.is_open_loop:
+                self._schedule_client_submit(tx.client_id, self._think_delay())
+
+    def _sample_occupancy(self) -> None:
+        assert self._simulation is not None
+        per_replica = {rid: len(pool) for rid, pool in sorted(self._mempools.items())}
+        self._occupancy.append(
+            OccupancySample(
+                time=self._simulation.now,
+                transactions=sum(per_replica.values()),
+                total_bytes=sum(pool.total_bytes for pool in self._mempools.values()),
+                per_replica=per_replica,
+            )
+        )
+        if self._simulation.now + self.sample_interval <= self._stop_time:
+            self._simulation.schedule_external(self.sample_interval, self._sample_occupancy)
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+
+    def records(self) -> List[TxRecord]:
+        """All transaction records in submission order."""
+        # tx ids are assigned from a monotonic counter into an
+        # insertion-ordered dict, so the values are already in order.
+        return list(self._records.values())
+
+    def metrics(self, duration: float, warmup: float = 0.0) -> WorkloadMetrics:
+        """Build the :class:`WorkloadMetrics` summary of the run so far.
+
+        Args:
+            duration: measured duration in seconds (excluding warm-up), the
+                denominator of the goodput figures.
+            warmup: transactions *submitted* before this time are excluded
+                from all counts and latency percentiles, mirroring the
+                warm-up handling of :class:`repro.smr.metrics.RunMetrics`.
+                Occupancy samples always cover the full run (the warm-up
+                transient is part of the occupancy story).
+        """
+        records = [record for record in self._records.values()
+                   if record.submit_time >= warmup]
+        committed = [r for r in records if r.commit_time is not None]
+        return WorkloadMetrics(
+            duration=max(duration, 1e-9),
+            submitted=len(records),
+            committed=len(committed),
+            dropped=sum(1 for r in records if r.dropped),
+            committed_tx_bytes=sum(r.size for r in committed),
+            latencies=[r.latency for r in committed],
+            occupancy=list(self._occupancy),
+        )

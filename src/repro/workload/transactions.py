@@ -1,0 +1,92 @@
+"""Client transactions: identity, wire encoding, and lifecycle tracking.
+
+A client transaction is an opaque byte string from the protocols' point of
+view — it travels through a :class:`repro.smr.mempool.Mempool`, into a block
+payload, and out of the commit stream.  The workload layer needs to
+recognise its own transactions on the way out, so each one is encoded with a
+small self-describing header (``tx:<tx_id>:<client_id>:``) padded to the
+configured logical size.
+
+:class:`TxRecord` is the submission-side bookkeeping the
+:class:`repro.workload.clients.ClientPool` keeps per transaction: when it
+was submitted, which replica it was routed to, and when (if ever) it was
+first observed committed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+_HEADER_PREFIX = b"tx:"
+_PAD_BYTE = b"\x00"
+
+#: Upper bound on the encoded size of any transaction with a tiny logical
+#: size: prefix + two decimal ids (< 2**63 each, 19 digits) + separators.
+#: ``len(encode_transaction(...)) <= max(size, MAX_HEADER_BYTES)`` always
+#: holds, which is what block-budget validation must bound against.
+MAX_HEADER_BYTES = len(_HEADER_PREFIX) + 19 + 1 + 19 + 1
+
+
+def encode_transaction(tx_id: int, client_id: int, size: int) -> bytes:
+    """Encode a transaction as self-identifying bytes of ``size`` bytes.
+
+    The header carries the transaction and client ids; the rest is zero
+    padding up to the logical size.  If ``size`` is smaller than the header,
+    the header alone is returned (the transaction is then slightly larger
+    than requested — ids must survive the trip through a block payload).
+    """
+    header = b"%s%d:%d:" % (_HEADER_PREFIX, tx_id, client_id)
+    if len(header) >= size:
+        return header
+    return header + _PAD_BYTE * (size - len(header))
+
+
+def decode_tx_id(data: bytes) -> Optional[int]:
+    """Return the transaction id encoded in ``data``, or ``None``.
+
+    Tolerates arbitrary payload bytes (the synthetic bit-vector workload and
+    the ledger examples share the same pipeline), returning ``None`` for
+    anything that is not a workload transaction.
+    """
+    if not data.startswith(_HEADER_PREFIX):
+        return None
+    parts = data.split(b":", 2)
+    if len(parts) < 3:
+        return None
+    try:
+        return int(parts[1])
+    except ValueError:
+        return None
+
+
+@dataclass
+class TxRecord:
+    """Lifecycle record of one submitted transaction.
+
+    Attributes:
+        tx_id: globally unique transaction id (assigned by the pool).
+        client_id: the submitting client.
+        replica_id: the replica whose mempool received the transaction.
+        size: encoded size in bytes.
+        submit_time: simulation time of submission.
+        commit_time: simulation time of the first observed commit of a block
+            containing the transaction (``None`` while pending).
+        dropped: whether the submission was rejected by mempool
+            backpressure (such a transaction never commits).
+    """
+
+    tx_id: int
+    client_id: int
+    replica_id: int
+    size: int
+    submit_time: float
+    commit_time: Optional[float] = None
+    dropped: bool = False
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submit→commit latency in seconds (``None`` while pending)."""
+        if self.commit_time is None:
+            return None
+        return self.commit_time - self.submit_time

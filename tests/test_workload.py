@@ -1,0 +1,595 @@
+"""Tests for the client workload subsystem and its runtime seams.
+
+Covers the external-event injection API of the simulator (including the
+cancelled-timer bookkeeping fix), the mempool's O(1) byte accounting and
+edge cases, arrival processes, transaction encoding, the open-/closed-loop
+client pools, and the two workload scenario presets (saturation sweep and
+flash crowd) end to end.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.eval.experiment import ExperimentConfig, run_experiment
+from repro.eval.scenarios import flash_crowd, saturation_sweep
+from repro.net.faults import FaultPlan
+from repro.net.latency import ConstantLatency
+from repro.protocols.base import Protocol, ProtocolParams
+from repro.protocols.registry import create_replicas
+from repro.runtime.simulator import NetworkConfig, Simulation
+from repro.smr.mempool import Mempool
+from repro.workload.arrivals import (
+    ConstantRate,
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    PoissonArrivals,
+)
+from repro.workload.clients import ClientPool
+from repro.workload.payloads import MempoolPayloadSource
+from repro.workload.spec import WorkloadSpec
+from repro.workload.transactions import decode_tx_id, encode_transaction
+
+
+# --------------------------------------------------------------------- #
+# Mempool byte accounting and edge cases
+# --------------------------------------------------------------------- #
+
+
+class TestMempoolAccounting:
+    def test_total_bytes_tracks_add_and_take(self):
+        pool = Mempool()
+        pool.add(b"x" * 30)
+        pool.add(b"y" * 50)
+        assert pool.total_bytes == 80
+        taken = pool.take(40)
+        assert taken == [b"x" * 30]
+        assert pool.total_bytes == 50
+
+    def test_oversized_first_transaction_not_taken_and_bytes_unchanged(self):
+        pool = Mempool()
+        pool.add(b"z" * 100)
+        assert pool.take(50) == []
+        assert len(pool) == 1
+        assert pool.total_bytes == 100
+
+    def test_add_all_short_circuits_on_full_pool(self):
+        pool = Mempool(max_size=2)
+        accepted = pool.add_all([b"a", b"b", b"c", b"d"])
+        assert accepted == 2
+        assert len(pool) == 2
+        assert pool.total_bytes == 2
+
+    def test_clear_resets_byte_count(self):
+        pool = Mempool()
+        pool.add_all([b"a" * 10, b"b" * 20])
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.total_bytes == 0
+        # The pool is usable again after clearing.
+        assert pool.add(b"c" * 5)
+        assert pool.total_bytes == 5
+
+    def test_max_bytes_backpressure(self):
+        pool = Mempool(max_bytes=100)
+        assert pool.add(b"a" * 60)
+        assert not pool.add(b"b" * 60)
+        assert pool.add(b"c" * 40)
+        assert pool.total_bytes == 100
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            Mempool(max_bytes=0)
+
+    def test_requeue_pushes_to_front_in_order(self):
+        pool = Mempool()
+        pool.add(b"later")
+        pool.requeue([b"first", b"second"])
+        assert pool.take(1000) == [b"first", b"second", b"later"]
+        assert pool.total_bytes == 0
+
+
+# --------------------------------------------------------------------- #
+# Arrival processes
+# --------------------------------------------------------------------- #
+
+
+class TestArrivals:
+    def test_constant_rate_is_evenly_spaced(self):
+        arrivals = ConstantRate(20.0)
+        rng = random.Random(0)
+        assert arrivals.next_interarrival(0.0, rng) == pytest.approx(0.05)
+        assert arrivals.rate(123.0) == 20.0
+
+    def test_poisson_is_seed_deterministic_with_correct_mean(self):
+        draws_a = [PoissonArrivals(50.0).next_interarrival(0, random.Random(7))
+                   for _ in range(1)]
+        draws_b = [PoissonArrivals(50.0).next_interarrival(0, random.Random(7))
+                   for _ in range(1)]
+        assert draws_a == draws_b
+        rng = random.Random(1)
+        arrivals = PoissonArrivals(50.0)
+        draws = [arrivals.next_interarrival(0, rng) for _ in range(4000)]
+        assert sum(draws) / len(draws) == pytest.approx(1 / 50.0, rel=0.1)
+
+    def test_diurnal_rate_follows_the_sine(self):
+        arrivals = DiurnalArrivals(100.0, amplitude=0.5, period=40.0)
+        assert arrivals.rate(10.0) == pytest.approx(150.0)  # quarter period: peak
+        assert arrivals.rate(30.0) == pytest.approx(50.0)   # three quarters: trough
+        rng = random.Random(3)
+        # Thinning keeps the long-run rate near the base rate.
+        count, t = 0, 0.0
+        while t < 80.0:
+            t += arrivals.next_interarrival(t, rng)
+            count += 1
+        assert count == pytest.approx(100.0 * 80.0, rel=0.15)
+
+    def test_flash_crowd_rate_window(self):
+        arrivals = FlashCrowdArrivals(10.0, burst_rate=200.0,
+                                      burst_start=5.0, burst_duration=2.0)
+        assert arrivals.rate(4.9) == 10.0
+        assert arrivals.rate(5.0) == 200.0
+        assert arrivals.rate(6.9) == 200.0
+        assert arrivals.rate(7.0) == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0)
+        with pytest.raises(ValueError):
+            ConstantRate(-1)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(10.0, amplitude=1.5)
+        with pytest.raises(ValueError):
+            FlashCrowdArrivals(10.0, burst_rate=20.0, burst_start=0, burst_duration=0)
+
+    def test_non_finite_rates_rejected(self):
+        # An infinite rate yields zero inter-arrival times and would freeze
+        # the event loop at one timestamp; NaN schedules events at time nan.
+        for bad in (float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                PoissonArrivals(bad)
+            with pytest.raises(ValueError):
+                ConstantRate(bad)
+            with pytest.raises(ValueError):
+                FlashCrowdArrivals(10.0, burst_rate=bad, burst_start=0,
+                                   burst_duration=1)
+
+
+# --------------------------------------------------------------------- #
+# Transaction encoding
+# --------------------------------------------------------------------- #
+
+
+class TestTransactions:
+    def test_roundtrip_and_padding(self):
+        encoded = encode_transaction(42, 7, 256)
+        assert len(encoded) == 256
+        assert decode_tx_id(encoded) == 42
+
+    def test_header_wins_over_tiny_size(self):
+        encoded = encode_transaction(123456, 99, 4)
+        assert decode_tx_id(encoded) == 123456
+        assert len(encoded) >= 4
+
+    def test_garbage_decodes_to_none(self):
+        assert decode_tx_id(b"payload:r3:p1") is None
+        assert decode_tx_id(b"tx:notanumber:0:") is None
+        assert decode_tx_id(b"") is None
+
+
+# --------------------------------------------------------------------- #
+# Report helpers
+# --------------------------------------------------------------------- #
+
+
+class TestSparkline:
+    def test_scales_to_peak_and_buckets(self):
+        from repro.analysis.report import sparkline
+
+        chart = sparkline([0.0, 5.0, 10.0])
+        assert len(chart) == 3
+        assert chart[0] == " " and chart[-1] == "@"
+
+    def test_negative_values_clamp_to_baseline(self):
+        from repro.analysis.report import sparkline
+
+        assert sparkline([-5.0, 1.0]) == " @"
+        assert sparkline([-1.0, 9.0])[0] == " "
+
+    def test_empty_and_flat_zero(self):
+        from repro.analysis.report import sparkline
+
+        assert sparkline([]) == ""
+        assert sparkline([0.0, 0.0]) == "  "
+
+    def test_render_timeseries_labels(self):
+        from repro.analysis.report import render_timeseries
+
+        text = render_timeseries("occupancy", [0.0, 1.0, 2.0], [1.0, 4.0, 2.0])
+        assert "peak 4" in text
+        assert "t=0.0s .. t=2.0s" in text
+        with pytest.raises(ValueError):
+            render_timeseries("bad", [0.0], [1.0, 2.0])
+
+
+# --------------------------------------------------------------------- #
+# Simulator: external-event injection and timer bookkeeping
+# --------------------------------------------------------------------- #
+
+
+class _IdleReplica(Protocol):
+    """A replica that does nothing; used to drive the simulator directly."""
+
+    name = "idle"
+
+    def on_start(self, ctx):
+        self.ctx = ctx
+
+    def on_message(self, ctx, sender, message):
+        pass
+
+    def on_timer(self, ctx, timer):
+        pass
+
+
+def _idle_simulation(n: int = 2, faults: FaultPlan = None) -> Simulation:
+    params = ProtocolParams(n=n, f=0)
+    replicas = {i: _IdleReplica(i, params) for i in range(n)}
+    network = NetworkConfig(latency=ConstantLatency(0.01),
+                            faults=faults or FaultPlan.none())
+    return Simulation(replicas, network)
+
+
+class TestExternalInjection:
+    def test_callbacks_run_at_scheduled_times_in_order(self):
+        sim = _idle_simulation()
+        fired = []
+        sim.schedule_external(2.0, lambda: fired.append(("b", sim.now)))
+        sim.schedule_external(1.0, lambda: fired.append(("a", sim.now)))
+        sim.run(until=5.0)
+        assert fired == [("a", 1.0), ("b", 2.0)]
+        assert sim.external_events_scheduled == 2
+
+    def test_callbacks_can_reschedule_themselves(self):
+        sim = _idle_simulation()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if sim.now < 3.0:
+                sim.schedule_external(1.0, tick)
+
+        sim.schedule_external(1.0, tick)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_external_events_survive_crashes(self):
+        sim = _idle_simulation(faults=FaultPlan.with_crashed([0, 1]))
+        fired = []
+        sim.schedule_external(0.5, lambda: fired.append(sim.now))
+        sim.run(until=1.0)
+        assert fired == [0.5]
+
+    def test_validation(self):
+        sim = _idle_simulation()
+        with pytest.raises(ValueError):
+            sim.schedule_external(-0.1, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_external(float("inf"), lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_external(float("nan"), lambda: None)
+        with pytest.raises(TypeError):
+            sim.schedule_external(0.1, "not callable")
+
+
+class TestTimerBookkeeping:
+    def test_stale_cancel_does_not_leak(self):
+        sim = _idle_simulation()
+        sim.start()
+        replica = sim.protocol(0)
+        timer_id = replica.ctx.set_timer(0.1, "t")
+        sim.run(until=1.0)  # the timer fires
+        replica.ctx.cancel_timer(timer_id)          # stale cancel: already fired
+        replica.ctx.cancel_timer(99999)             # never-armed id
+        assert sim._cancelled_timers == set()
+        assert sim._pending_timers == set()
+
+    def test_cancelled_timer_does_not_fire_and_sets_drain(self):
+        sim = _idle_simulation()
+        sim.start()
+        replica = sim.protocol(0)
+        fired = []
+        replica.on_timer = lambda ctx, timer: fired.append(timer.name)
+        timer_id = replica.ctx.set_timer(0.5, "doomed")
+        replica.ctx.cancel_timer(timer_id)
+        sim.run(until=1.0)
+        assert fired == []
+        assert sim._cancelled_timers == set()
+        assert sim._pending_timers == set()
+
+
+# --------------------------------------------------------------------- #
+# Client pools end to end
+# --------------------------------------------------------------------- #
+
+
+def _workload_simulation(spec: WorkloadSpec, duration: float, n: int = 4,
+                         seed: int = 1):
+    params = ProtocolParams(n=n, f=1, p=1, rank_delay=0.4)
+    pool = spec.build_pool()
+    source = MempoolPayloadSource(pool, max_block_bytes=spec.max_block_bytes)
+    replicas = create_replicas("banyan", params, payload_source=source)
+    network = NetworkConfig(latency=ConstantLatency(0.05), seed=seed)
+    sim = Simulation(replicas, network)
+    pool.attach(sim, stop_time=duration)
+    sim.run(until=duration)
+    return sim, pool
+
+
+class TestClientPool:
+    def test_open_loop_commits_transactions_with_positive_latency(self):
+        spec = WorkloadSpec(mode="open", arrival="constant", rate=20.0,
+                            tx_size=128, seed=5)
+        sim, pool = _workload_simulation(spec, duration=10.0)
+        metrics = pool.metrics(10.0)
+        assert metrics.submitted > 150
+        assert metrics.committed > 100
+        assert metrics.dropped == 0
+        assert all(latency > 0 for latency in metrics.latencies)
+        assert metrics.p95_latency >= metrics.p50_latency > 0
+        assert metrics.goodput_tx_per_s > 10
+        # Committed block payloads decode back into workload transactions.
+        tx_blocks = [record for record in sim.commits_for(0)
+                     if decode_tx_id(record.block.payload) is not None]
+        assert tx_blocks, "no committed block carried client transactions"
+
+    def test_closed_loop_keeps_population_in_flight(self):
+        spec = WorkloadSpec(mode="closed", num_clients=6, think_time=0.2,
+                            tx_size=128, seed=2)
+        sim, pool = _workload_simulation(spec, duration=10.0)
+        metrics = pool.metrics(10.0)
+        assert metrics.committed >= 6
+        # A closed-loop client has at most one transaction outstanding.
+        assert metrics.pending <= 6
+        assert metrics.dropped == 0
+
+    def test_backpressure_drops_when_mempool_full(self):
+        spec = WorkloadSpec(mode="open", arrival="constant", rate=200.0,
+                            tx_size=128, mempool_capacity=5,
+                            max_block_bytes=256, seed=3)
+        _, pool = _workload_simulation(spec, duration=8.0)
+        metrics = pool.metrics(8.0)
+        assert metrics.dropped > 0
+        assert metrics.submitted == metrics.committed + metrics.dropped + metrics.pending
+
+    def test_zero_think_time_with_full_mempool_does_not_livelock(self):
+        # Regression: a zero-delay retry on backpressure used to re-enqueue
+        # an event at the same timestamp forever, freezing the simulation.
+        spec = WorkloadSpec(mode="closed", num_clients=16, think_time=0.0,
+                            tx_size=128, mempool_capacity=2,
+                            max_block_bytes=256, seed=6)
+        _, pool = _workload_simulation(spec, duration=5.0)
+        metrics = pool.metrics(5.0)
+        assert metrics.committed > 0
+        assert metrics.dropped > 0
+
+    def test_occupancy_sampling_covers_the_run(self):
+        spec = WorkloadSpec(mode="open", arrival="poisson", rate=30.0,
+                            tx_size=128, sample_interval=0.5, seed=4)
+        _, pool = _workload_simulation(spec, duration=10.0)
+        metrics = pool.metrics(10.0)
+        assert len(metrics.occupancy) == 20
+        assert metrics.occupancy[-1].time == pytest.approx(10.0)
+        assert metrics.peak_mempool_depth >= 0
+
+    def test_pool_cannot_attach_twice(self):
+        spec = WorkloadSpec(mode="open", rate=10.0)
+        pool = spec.build_pool()
+        sim = _idle_simulation()
+        pool.attach(sim, stop_time=5.0)
+        with pytest.raises(RuntimeError):
+            pool.attach(sim, stop_time=5.0)
+
+    def test_uncommitted_proposal_is_reclaimed_on_next_proposal(self):
+        spec = WorkloadSpec(mode="open", arrival="constant", rate=10.0, tx_size=64)
+        pool = spec.build_pool()
+        source = MempoolPayloadSource(pool, max_block_bytes=spec.max_block_bytes)
+        sim = _idle_simulation()
+        pool.attach(sim, stop_time=5.0)
+        for _ in range(3):
+            pool._submit(0)
+        # Consolidate the round-robin-routed txs into replica 0's mempool.
+        pool.mempool(0).requeue(pool.mempool(1).take(10_000))
+
+        payload_a, size_a = source.payload_for(1, 0)
+        assert size_a == len(payload_a) > 0
+        assert len(pool.mempool(0)) == 0
+        # Round 1 is still undecided: the batch may yet commit, so it is NOT
+        # reclaimed and the next proposal goes out empty.
+        _, size_undecided = source.payload_for(2, 0)
+        assert size_undecided == 0
+        # A newer proposal with fresh txs must not orphan the deferred batch.
+        pool._submit(0)
+        pool.mempool(0).requeue(pool.mempool(1).take(10_000))
+        payload_b, _ = source.payload_for(3, 0)
+        assert payload_b != payload_a
+        # Once the chain commits past both rounds without either batch, both
+        # are abandoned and re-proposed together, oldest first.
+        pool._max_committed_round = 3
+        payload_c, _ = source.payload_for(4, 0)
+        assert payload_c == payload_a + payload_b
+        # Once committed, nothing is reclaimed and proposals go empty.
+        pool._committed.update(range(4))
+        _, size_d = source.payload_for(5, 0)
+        assert size_d == 0
+
+    def test_warmup_filters_early_transactions(self):
+        spec = WorkloadSpec(mode="open", arrival="constant", rate=20.0,
+                            tx_size=128, seed=5)
+        _, pool = _workload_simulation(spec, duration=10.0)
+        full = pool.metrics(10.0)
+        trimmed = pool.metrics(8.0, warmup=2.0)
+        assert 0 < trimmed.submitted < full.submitted
+        assert trimmed.committed < full.committed
+        assert len(trimmed.latencies) == trimmed.committed
+        # Occupancy keeps the full timeline regardless of warm-up.
+        assert trimmed.occupancy == full.occupancy
+
+    def test_payload_map_is_pruned_after_commit(self):
+        spec = WorkloadSpec(mode="open", arrival="constant", rate=20.0,
+                            tx_size=128, seed=5)
+        _, pool = _workload_simulation(spec, duration=10.0)
+        # The map holds only still-in-flight proposals, not the whole chain.
+        assert len(pool._payload_txs) <= 8
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(mode="sideways")
+        with pytest.raises(ValueError):
+            WorkloadSpec(arrival="fractal")
+        with pytest.raises(ValueError):
+            WorkloadSpec(tx_size=2048, max_block_bytes=1024)
+        # A tiny tx_size does not bound the *encoded* size (the id header
+        # dominates); the block budget must cover the worst case too.
+        with pytest.raises(ValueError):
+            WorkloadSpec(tx_size=8, max_block_bytes=16)
+
+
+class TestInjectionDeterminism:
+    def test_same_seed_produces_identical_commit_schedule(self):
+        def commit_schedule():
+            spec = WorkloadSpec(mode="open", arrival="poisson", rate=40.0,
+                                tx_size=128, seed=11)
+            sim, pool = _workload_simulation(spec, duration=10.0, seed=7)
+            schedule = [
+                (record.replica_id, record.block.id, record.commit_time)
+                for replica_id in sim.replica_ids
+                for record in sim.commits_for(replica_id)
+            ]
+            return schedule, pool.metrics(10.0)
+
+        schedule_a, metrics_a = commit_schedule()
+        schedule_b, metrics_b = commit_schedule()
+        assert schedule_a == schedule_b
+        assert metrics_a.latencies == metrics_b.latencies
+        assert metrics_a.submitted == metrics_b.submitted
+
+    def test_different_workload_seed_changes_the_schedule(self):
+        def latencies(seed):
+            spec = WorkloadSpec(mode="open", arrival="poisson", rate=40.0,
+                                tx_size=128, seed=seed)
+            _, pool = _workload_simulation(spec, duration=10.0, seed=7)
+            return pool.metrics(10.0).latencies
+
+        assert latencies(1) != latencies(2)
+
+
+# --------------------------------------------------------------------- #
+# Scenario presets (acceptance: saturation sweep and flash crowd)
+# --------------------------------------------------------------------- #
+
+
+class TestWorkloadScenarios:
+    def test_saturation_sweep_reports_latency_percentiles_and_goodput(self):
+        figure = saturation_sweep(rates=(10, 40), duration=10.0, seed=0)
+        (label, rows), = figure.series.items()
+        assert "banyan" in label
+        assert len(rows) == 2
+        for row, rate in zip(rows, (10, 40)):
+            assert row["offered_tx_per_s"] == rate
+            assert row["committed_tx"] > 0
+            assert row["tx_p50_ms"] > 0
+            assert row["tx_p95_ms"] >= row["tx_p50_ms"]
+            assert row["tx_p99_ms"] >= row["tx_p95_ms"]
+            assert row["goodput_tx_per_s"] > 0
+        # Offered load is absorbed below saturation: goodput tracks the rate.
+        assert rows[1]["goodput_tx_per_s"] > rows[0]["goodput_tx_per_s"]
+        rendered = figure.render()
+        assert "tx_p95_ms" in rendered and "goodput_tx_per_s" in rendered
+
+    def test_saturation_sweep_is_deterministic(self):
+        rows_a = saturation_sweep(rates=(25,), duration=8.0, seed=3).series
+        rows_b = saturation_sweep(rates=(25,), duration=8.0, seed=3).series
+        assert rows_a == rows_b
+
+    def test_flash_crowd_fills_and_drains_the_mempools(self):
+        figure = flash_crowd(base_rate=10.0, burst_rate=200.0, burst_start=6.0,
+                             burst_duration=3.0, duration=30.0, seed=0)
+        workload = figure.results[0].workload
+        assert workload is not None
+        samples = workload.occupancy
+        assert samples, "flash crowd must sample mempool occupancy"
+        pre_burst = max((s.transactions for s in samples if s.time < 6.0), default=0)
+        peak = workload.peak_mempool_depth
+        final = samples[-1].transactions
+        # The spike overwhelms the per-round block budget...
+        assert peak > max(pre_burst, 1) * 4
+        # ...and the backlog drains once the burst passes.
+        assert final < peak / 3
+        assert workload.committed > 0
+
+    def test_flash_crowd_is_deterministic(self):
+        def occupancy():
+            figure = flash_crowd(base_rate=10.0, burst_rate=150.0, duration=20.0,
+                                 seed=5)
+            return [(s.time, s.transactions)
+                    for s in figure.results[0].workload.occupancy]
+
+        assert occupancy() == occupancy()
+
+
+class TestWorkloadCli:
+    def test_inapplicable_flags_are_rejected(self, capsys):
+        from repro.cli import main
+
+        assert main(["workload", "saturation", "--burst-rate", "250"]) == 2
+        assert "apply only to flash-crowd" in capsys.readouterr().err
+        assert main(["workload", "flash-crowd", "--rates", "10,20"]) == 2
+        assert "applies only to saturation" in capsys.readouterr().err
+
+    def test_bad_rate_lists_fail_parsing(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["workload", "saturation", "--rates", "abc"])
+        with pytest.raises(SystemExit):
+            main(["workload", "saturation", "--rates", "10,-5"])
+        with pytest.raises(SystemExit):
+            main(["workload", "saturation", "--rates", "inf"])
+        with pytest.raises(SystemExit):
+            main(["workload", "saturation", "--rates", "nan"])
+
+    def test_invalid_config_is_a_friendly_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["workload", "saturation", "--tx-size", "70000"]) == 2
+        assert "max_block_bytes" in capsys.readouterr().err
+
+
+class TestExperimentIntegration:
+    def test_run_experiment_carries_workload_metrics(self):
+        params = ProtocolParams(n=4, f=1, p=1, rank_delay=0.4)
+        config = ExperimentConfig(
+            protocol="banyan", params=params, duration=10.0, warmup=0.0,
+            latency=ConstantLatency(0.05), seed=0,
+            workload=WorkloadSpec(mode="open", arrival="poisson", rate=25.0,
+                                  tx_size=128, seed=1),
+        )
+        result = run_experiment(config)
+        assert result.workload is not None
+        assert result.workload.committed > 0
+        row = result.row()
+        assert "tx_p95_ms" in row and "goodput_tx_per_s" in row
+        summary = result.workload.summary()
+        assert summary["committed_tx"] > 0
+        assert summary["p99_latency_s"] >= summary["p50_latency_s"]
+
+    def test_run_experiment_without_workload_has_no_workload_metrics(self):
+        params = ProtocolParams(n=4, f=1, p=1, rank_delay=0.4, payload_size=1_000)
+        config = ExperimentConfig(protocol="banyan", params=params, duration=8.0,
+                                  latency=ConstantLatency(0.05))
+        result = run_experiment(config)
+        assert result.workload is None
+        assert "tx_p95_ms" not in result.row()
