@@ -41,7 +41,7 @@ def _run_all():
 
 
 def test_message_complexity(benchmark):
-    results = run_once(benchmark, _run_all)
+    results = run_once(benchmark, _run_all, record_name="message_complexity")
     paper_comparison(list(results.values()))
 
     banyan, icc = results["banyan"], results["icc"]

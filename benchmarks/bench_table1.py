@@ -24,7 +24,7 @@ def _generate_table(f: int, p: int):
 
 
 def test_table1_f6_p1(benchmark):
-    rows = run_once(benchmark, _generate_table, 6, 1)
+    rows = run_once(benchmark, _generate_table, 6, 1, record_name="table1_f6_p1")
     print()
     print("Table 1 with f=6, p=1 (n=19 for Banyan):")
     print(format_table(_HEADERS, [[row[h] for h in _HEADERS] for row in rows]))
@@ -35,7 +35,7 @@ def test_table1_f6_p1(benchmark):
 
 
 def test_table1_f4_p4(benchmark):
-    rows = run_once(benchmark, _generate_table, 4, 4)
+    rows = run_once(benchmark, _generate_table, 4, 4, record_name="table1_f4_p4")
     print()
     print("Table 1 with f=4, p=4 (n=19 for Banyan):")
     print(format_table(_HEADERS, [[row[h] for h in _HEADERS] for row in rows]))

@@ -1,20 +1,100 @@
-"""Shared helpers for the benchmark harness."""
+"""Shared helpers for the benchmark harness.
+
+Besides the pytest-benchmark integration, every ``run_once`` call emits one
+machine-readable ``BENCH_<name>.json`` record (wall-clock time plus, for
+figure results, the measured series) into ``benchmarks/results/`` — override
+the directory with the ``BANYAN_BENCH_DIR`` environment variable, or set it
+to an empty string to disable.  The records let the performance trajectory
+be tracked across commits without parsing captured stdout.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import json
+import os
+import time
+from typing import Callable, Dict, List, Optional
 
 import pytest
 
+#: Environment variable overriding the JSON record directory; an empty
+#: string disables emission.
+BENCH_DIR_ENV = "BANYAN_BENCH_DIR"
+DEFAULT_BENCH_DIR = os.path.join(os.path.dirname(__file__), "results")
 
-def run_once(benchmark, function: Callable, *args, **kwargs):
+
+try:  # pragma: no cover - depends on the environment
+    import pytest_benchmark  # noqa: F401
+except ImportError:
+    class _FallbackBenchmark:
+        """Minimal stand-in so the suite runs without pytest-benchmark."""
+
+        def pedantic(self, function, args=(), kwargs=None, rounds=1, iterations=1):
+            return function(*args, **(kwargs or {}))
+
+    @pytest.fixture
+    def benchmark():
+        return _FallbackBenchmark()
+
+
+def _bench_record_path(name: str) -> Optional[str]:
+    directory = os.environ.get(BENCH_DIR_ENV, DEFAULT_BENCH_DIR)
+    if not directory:
+        return None
+    return os.path.join(directory, f"BENCH_{name}.json")
+
+
+def emit_bench_record(name: str, wall_s: float, result: object = None) -> None:
+    """Write one ``BENCH_<name>.json`` record (best-effort, never fails a bench).
+
+    Args:
+        name: record name; also the file-name stem.
+        wall_s: measured wall-clock seconds of the benchmarked call.
+        result: the benchmarked call's return value; figure results
+            contribute their series rows, so throughput/latency numbers are
+            machine-readable alongside the timing.
+    """
+    path = _bench_record_path(name)
+    if path is None:
+        return
+    record: Dict[str, object] = {
+        "bench": name,
+        "wall_s": round(wall_s, 6),
+        "created_unix": round(time.time(), 3),
+    }
+    series = getattr(result, "series", None)
+    results = getattr(result, "results", None)
+    if series is not None:
+        record["figure"] = getattr(result, "figure", None)
+        record["replications"] = getattr(result, "replications", 1)
+        record["series"] = series
+    if results is not None:
+        record["experiments"] = len(results)
+        record["sim_seconds"] = round(sum(r.config.duration for r in results), 3)
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+    except OSError:
+        pass
+
+
+def run_once(benchmark, function: Callable, *args, record_name: Optional[str] = None,
+             **kwargs):
     """Run ``function`` exactly once under pytest-benchmark.
 
     The figure regenerations are full (deterministic) simulation sweeps, so a
     single iteration is both sufficient and necessary to keep the suite's
-    wall-clock time reasonable.
+    wall-clock time reasonable.  One ``BENCH_<record_name>.json`` record
+    (default name: the function's name) is written per call.
     """
-    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    start = time.perf_counter()
+    result = benchmark.pedantic(function, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    emit_bench_record(record_name or function.__name__,
+                      time.perf_counter() - start, result)
+    return result
 
 
 def print_figure(figure) -> None:

@@ -2,6 +2,7 @@
 
 from repro.analysis.report import format_table, render_series, render_timeseries, sparkline
 from repro.analysis.stats import (
+    ci95_half_width,
     confidence_interval_95,
     improvement_pct,
     mean,
@@ -12,6 +13,7 @@ from repro.analysis.stats import (
 )
 
 __all__ = [
+    "ci95_half_width",
     "confidence_interval_95",
     "format_table",
     "improvement_pct",

@@ -84,6 +84,27 @@ def render_timeseries(title: str, times: Sequence[float], values: Sequence[float
             f" {span}, {len(values)} samples")
 
 
+def with_ci_columns(columns: Sequence[str],
+                    series: Mapping[str, Sequence[Mapping[str, object]]]) -> List[str]:
+    """Interleave ``<col>_ci95`` columns after each base column that has one.
+
+    Multi-replication sweeps attach ``±`` half-width columns to their rows;
+    this places each one directly after the statistic it qualifies, and drops
+    the ones no row carries (single-replication runs render unchanged).
+    """
+    present = set()
+    for rows in series.values():
+        for row in rows:
+            present.update(row)
+    expanded: List[str] = []
+    for column in columns:
+        expanded.append(column)
+        ci_column = f"{column}_ci95"
+        if ci_column in present:
+            expanded.append(ci_column)
+    return expanded
+
+
 def render_series(title: str, series: Mapping[str, Sequence[Mapping[str, object]]],
                   columns: Sequence[str]) -> str:
     """Render one figure's data as per-protocol sections.

@@ -58,12 +58,20 @@ def confidence_interval_95(values: Sequence[float]) -> Tuple[float, float]:
     Returns ``(low, high)``; collapses to ``(mean, mean)`` for fewer than two
     samples.
     """
-    if len(values) < 2:
-        centre = mean(values)
-        return (centre, centre)
     centre = mean(values)
-    half_width = 1.96 * stddev(values) / math.sqrt(len(values))
+    half_width = ci95_half_width(values)
     return (centre - half_width, centre + half_width)
+
+
+def ci95_half_width(values: Sequence[float]) -> float:
+    """Half-width of the normal-approximation 95% CI of the mean.
+
+    0.0 for fewer than two samples, so single-replication sweeps report a
+    degenerate ``± 0`` interval rather than failing.
+    """
+    if len(values) < 2:
+        return 0.0
+    return 1.96 * stddev(values) / math.sqrt(len(values))
 
 
 def improvement_pct(baseline: float, improved: float) -> float:

@@ -4,14 +4,18 @@ Usage::
 
     banyan-repro table1 [--f 6 --p 1]
     banyan-repro figure 6a [--duration 20]
-    banyan-repro figure 6d
+    banyan-repro figure 6d --jobs 4 --seeds 5 --cache-dir .banyan-cache
     banyan-repro run --protocol banyan --n 19 --f 6 --p 1 --payload 400000
-    banyan-repro workload saturation --rates 10,30,60,120
+    banyan-repro workload saturation --rates 10,30,60,120 --jobs 4
     banyan-repro workload flash-crowd --burst-rate 250
     banyan-repro list
 
 The output is plain text: the same rows/series the paper reports, rendered
-with :mod:`repro.analysis.report`.
+with :mod:`repro.analysis.report`.  Every experiment-running subcommand
+accepts ``--jobs`` (parallel worker processes), ``--seeds`` (independent
+replications aggregated into mean ± 95% CI columns), ``--cache-dir``
+(skip cells that already ran), and ``--no-cache``; progress is reported on
+stderr so stdout stays a clean table.
 """
 
 from __future__ import annotations
@@ -23,9 +27,10 @@ from typing import List, Optional
 
 from repro.analysis.report import format_table, render_timeseries
 from repro.eval import scenarios
-from repro.eval.experiment import ExperimentConfig, run_experiment
+from repro.eval.plan import ExperimentPlan, ExperimentSpec
+from repro.eval.runner import ProgressEvent
 from repro.eval.table1 import table1_rows
-from repro.net.topology import four_global_datacenters, four_us_datacenters, worldwide_datacenters
+from repro.net.topology import TOPOLOGY_FACTORIES
 from repro.protocols.base import ProtocolParams
 from repro.protocols.registry import available_protocols
 
@@ -37,12 +42,6 @@ _FIGURES = {
     "6e": scenarios.figure_6e,
     "ablation-p": scenarios.ablation_p_sweep,
     "ablation-stragglers": scenarios.ablation_stragglers,
-}
-
-_TOPOLOGIES = {
-    "global4": four_global_datacenters,
-    "us4": four_us_datacenters,
-    "worldwide": worldwide_datacenters,
 }
 
 _WORKLOADS = {
@@ -62,6 +61,20 @@ def _rate_list(text: str) -> List[float]:
     return rates
 
 
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """The sweep-runner flags shared by ``figure``, ``run``, and ``workload``."""
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel worker processes (default: 1, serial)")
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="independent replications per cell; > 1 aggregates "
+                             "rows into mean ± 95%% CI columns")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory of per-experiment JSON results; "
+                             "re-runs skip cells already present")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore cached results (they are still refreshed)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="banyan-repro",
@@ -77,7 +90,11 @@ def _build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("name", choices=sorted(_FIGURES), help="figure to reproduce")
     figure_parser.add_argument("--duration", type=float, default=None,
                                help="simulated duration per experiment (seconds)")
+    figure_parser.add_argument("--warmup", type=float, default=None,
+                               help="seconds excluded from the measurements "
+                                    "(default: the figure's preset)")
     figure_parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    _add_runner_arguments(figure_parser)
 
     run_parser = subparsers.add_parser("run", help="run a single custom experiment")
     run_parser.add_argument("--protocol", choices=available_protocols(), default="banyan")
@@ -86,8 +103,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--p", type=int, default=1)
     run_parser.add_argument("--payload", type=int, default=400_000, help="payload size in bytes")
     run_parser.add_argument("--duration", type=float, default=20.0)
-    run_parser.add_argument("--topology", choices=sorted(_TOPOLOGIES), default="global4")
+    run_parser.add_argument("--topology", choices=sorted(TOPOLOGY_FACTORIES), default="global4")
     run_parser.add_argument("--seed", type=int, default=0)
+    _add_runner_arguments(run_parser)
 
     workload_parser = subparsers.add_parser(
         "workload", help="run a client-workload scenario (end-to-end tx latency)"
@@ -112,9 +130,32 @@ def _build_parser() -> argparse.ArgumentParser:
                                  help="flash-crowd baseline rate (tx/s)")
     workload_parser.add_argument("--burst-rate", type=float, default=None,
                                  help="flash-crowd burst rate (tx/s)")
+    _add_runner_arguments(workload_parser)
 
     subparsers.add_parser("list", help="list available protocols, figures, and workloads")
     return parser
+
+
+def _print_progress(event: ProgressEvent) -> None:
+    """Stderr progress line per completed experiment (stdout stays a table)."""
+    spec = event.spec
+    suffix = " (cached)" if event.cached else ""
+    print(f"[{event.completed}/{event.total}] {spec.resolved_label()}"
+          f" {spec.cell or 'run'} rep={spec.replication}{suffix}",
+          file=sys.stderr)
+
+
+def _runner_kwargs(args: argparse.Namespace) -> dict:
+    """Translate the shared runner flags into scenario keyword arguments."""
+    kwargs = {
+        "seeds": args.seeds,
+        "jobs": args.jobs,
+        "cache_dir": args.cache_dir,
+        "use_cache": not args.no_cache,
+    }
+    if args.jobs > 1 or args.seeds > 1 or args.cache_dir is not None:
+        kwargs["progress"] = _print_progress
+    return kwargs
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -127,9 +168,11 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     factory = _FIGURES[args.name]
-    kwargs = {"seed": args.seed}
+    kwargs = {"seed": args.seed, **_runner_kwargs(args)}
     if args.duration is not None:
         kwargs["duration"] = args.duration
+    if args.warmup is not None:
+        kwargs["warmup"] = args.warmup
     figure = factory(**kwargs)
     print(figure.render())
     return 0
@@ -138,18 +181,22 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     params = ProtocolParams(n=args.n, f=args.f, p=args.p, payload_size=args.payload,
                             rank_delay=scenarios.GLOBAL_RANK_DELAY)
-    topology = _TOPOLOGIES[args.topology](args.n)
-    config = ExperimentConfig(protocol=args.protocol, params=params, topology=topology,
-                              duration=args.duration, seed=args.seed)
-    result = run_experiment(config)
-    row = result.row()
+    spec = ExperimentSpec(protocol=args.protocol, params=params,
+                          topology=args.topology, duration=args.duration,
+                          seed=args.seed)
+    plan = ExperimentPlan(name="run", title="custom experiment",
+                          specs=[spec]).with_replications(args.seeds)
+    runner = _runner_kwargs(args)
+    runner.pop("seeds")
+    figure = scenarios.run_figure(plan, **runner)
+    (row,), = (rows for rows in figure.series.values())
     print(format_table(sorted(row), [[row[key] for key in sorted(row)]]))
     return 0
 
 
 def _cmd_workload(args: argparse.Namespace) -> int:
     # None-valued flags fall through to the scenario defaults.
-    kwargs = {"seed": args.seed}
+    kwargs = {"seed": args.seed, **_runner_kwargs(args)}
     for name in ("protocol", "n", "f", "p", "tx_size", "max_block_bytes",
                  "duration"):
         value = getattr(args, name)
@@ -181,9 +228,16 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         return 2
     print(figure.render())
     # The story behind the table is in the occupancy curves: show them
-    # inline, labelled with the offered rate that produced each one.
+    # inline, labelled with the offered rate that produced each one.  With
+    # --seeds > 1 only the first replication of each cell is charted — the
+    # table already carries the cross-replication statistics.
+    charted = set()
     for result in figure.results:
         if result.workload is not None and result.workload.occupancy:
+            cell = (result.label, result.config.workload.rate)
+            if cell in charted:
+                continue
+            charted.add(cell)
             samples = result.workload.occupancy
             rate = result.config.workload.rate
             print()

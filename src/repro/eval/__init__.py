@@ -1,15 +1,35 @@
-"""Evaluation harness: experiments, scenarios per paper figure, Table 1.
+"""Evaluation harness: plans, the sweep runner, scenarios, Table 1.
 
 * :mod:`repro.eval.experiment` — a single experiment run: protocol +
   topology + workload → :class:`repro.smr.metrics.RunMetrics`.
+* :mod:`repro.eval.plan` — declarative, picklable experiment descriptions
+  (:class:`ExperimentSpec` / :class:`ExperimentPlan`) with content hashing
+  and deterministic per-replication sub-seeds.
+* :mod:`repro.eval.runner` — the engine executing any plan serially or in
+  parallel, with a per-spec JSON result cache and progress callbacks.
 * :mod:`repro.eval.table1` — the analytic protocol-comparison table
   (Table 1 of the paper).
-* :mod:`repro.eval.scenarios` — one entry point per evaluation figure
-  (6a–6e) plus the ablations, returning the series the paper plots.
+* :mod:`repro.eval.scenarios` — one plan builder + runner wrapper per
+  evaluation figure (6a–6e) plus the ablations and workload scenarios,
+  returning the series the paper plots with mean ± 95% CI columns when
+  replicated.
 """
 
-from repro.eval.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.eval.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+    sweep_payload_sizes,
+)
+from repro.eval.plan import (
+    ExperimentPlan,
+    ExperimentSpec,
+    derive_subseed,
+    payload_sweep_plan,
+)
+from repro.eval.runner import ProgressEvent, run_plan
 from repro.eval.scenarios import (
+    FigureResult,
     ablation_p_sweep,
     ablation_stragglers,
     figure_6a,
@@ -17,25 +37,37 @@ from repro.eval.scenarios import (
     figure_6c,
     figure_6d,
     figure_6e,
+    figure_from_plan,
     flash_crowd,
+    run_figure,
     saturation_sweep,
 )
 from repro.eval.table1 import TABLE1_SPECS, ProtocolSpec, table1_rows
 
 __all__ = [
     "ExperimentConfig",
+    "ExperimentPlan",
     "ExperimentResult",
+    "ExperimentSpec",
+    "FigureResult",
+    "ProgressEvent",
     "ProtocolSpec",
     "TABLE1_SPECS",
     "ablation_p_sweep",
     "ablation_stragglers",
+    "derive_subseed",
     "figure_6a",
     "figure_6b",
     "figure_6c",
     "figure_6d",
     "figure_6e",
+    "figure_from_plan",
     "flash_crowd",
+    "payload_sweep_plan",
     "run_experiment",
+    "run_figure",
+    "run_plan",
     "saturation_sweep",
+    "sweep_payload_sizes",
     "table1_rows",
 ]

@@ -13,10 +13,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
+from repro.byzantine.behaviors import DelayedReplica
 from repro.net.bandwidth import BandwidthModel
 from repro.net.faults import FaultPlan
 from repro.net.latency import GeoLatency, LatencyModel
-from repro.net.topology import Topology, four_global_datacenters
+from repro.net.topology import (
+    Topology,
+    four_global_datacenters,
+    placement_names,
+    topology_from_names,
+)
 from repro.protocols.base import ProtocolParams
 from repro.protocols.registry import create_replicas
 from repro.runtime.simulator import NetworkConfig, Simulation
@@ -52,6 +58,10 @@ class ExperimentConfig:
             end-to-end :class:`repro.smr.metrics.WorkloadMetrics`; when
             unset, proposals use the paper's synthetic bit-vector payloads
             of ``params.payload_size`` bytes.
+        stragglers: number of honest straggler replicas (the highest-id
+            ones) whose outbound messages are delayed by
+            ``straggler_delay`` seconds — the straggler ablation's knob.
+        straggler_delay: extra outbound delay per straggler, in seconds.
     """
 
     protocol: str
@@ -65,6 +75,8 @@ class ExperimentConfig:
     observer: Optional[int] = None
     label: Optional[str] = None
     workload: Optional[WorkloadSpec] = None
+    stragglers: int = 0
+    straggler_delay: float = 1.0
 
     def resolved_topology(self) -> Topology:
         """The topology to use (default: 4 global datacenters)."""
@@ -73,6 +85,61 @@ class ExperimentConfig:
     def resolved_label(self) -> str:
         """The report label."""
         return self.label or self.protocol
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dictionary (inverse of :meth:`from_dict`).
+
+        The topology is stored as its datacenter-name placement list, so any
+        :class:`repro.net.topology.Topology` over catalogued AWS regions
+        round-trips.  A ``latency`` model override is not serialisable.
+
+        Raises:
+            ValueError: if a ``latency`` override is set, or the topology
+                uses datacenters that are not (exactly) catalogue entries —
+                ``from_dict`` would otherwise rebuild a different network.
+        """
+        if self.latency is not None:
+            raise ValueError("configs with a latency-model override are not serialisable")
+        return {
+            "protocol": self.protocol,
+            "params": self.params.to_dict(),
+            "topology": (
+                placement_names(self.topology)
+                if self.topology is not None else None
+            ),
+            "duration": self.duration,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "faults": self.faults.to_dict(),
+            "observer": self.observer,
+            "label": self.label,
+            "workload": self.workload.to_dict() if self.workload is not None else None,
+            "stragglers": self.stragglers,
+            "straggler_delay": self.straggler_delay,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        placement = data.get("topology")
+        workload = data.get("workload")
+        return cls(
+            protocol=str(data["protocol"]),
+            params=ProtocolParams.from_dict(data["params"]),
+            topology=(
+                topology_from_names(placement)
+                if placement is not None else None
+            ),
+            duration=float(data["duration"]),
+            warmup=float(data["warmup"]),
+            seed=int(data["seed"]),
+            faults=FaultPlan.from_dict(data.get("faults", {})),
+            observer=data.get("observer"),
+            label=data.get("label"),
+            workload=WorkloadSpec.from_dict(workload) if workload is not None else None,
+            stragglers=int(data.get("stragglers", 0)),
+            straggler_delay=float(data.get("straggler_delay", 1.0)),
+        )
 
 
 @dataclass
@@ -134,6 +201,33 @@ class ExperimentResult:
             "peak_mempool_depth": self.workload.peak_mempool_depth,
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """A lossless JSON-ready dictionary (inverse of :meth:`from_dict`).
+
+        This is the result-cache format: rebuilding via :meth:`from_dict`
+        yields a result whose :meth:`row` output is byte-identical to the
+        original's.
+        """
+        return {
+            "config": self.config.to_dict(),
+            "metrics": self.metrics.to_dict(),
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "workload": self.workload.to_dict() if self.workload is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        workload = data.get("workload")
+        return cls(
+            config=ExperimentConfig.from_dict(data["config"]),
+            metrics=RunMetrics.from_dict(data["metrics"]),
+            messages_sent=int(data["messages_sent"]),
+            bytes_sent=int(data["bytes_sent"]),
+            workload=WorkloadMetrics.from_dict(workload) if workload is not None else None,
+        )
+
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Run one experiment and return its result."""
@@ -159,6 +253,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     replicas = create_replicas(
         config.protocol, config.params, payload_source=payload_source
     )
+    if config.stragglers:
+        # The highest-id replicas become honest stragglers: their outbound
+        # messages are deferred, degrading the fast path but not safety.
+        for replica_id in range(config.params.n - config.stragglers, config.params.n):
+            replicas[replica_id] = DelayedReplica(
+                replicas[replica_id], config.straggler_delay
+            )
     simulation = Simulation(replicas, network)
     if pool is not None:
         pool.attach(simulation, stop_time=config.duration)
@@ -192,10 +293,26 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     )
 
 
-def sweep_payload_sizes(base: ExperimentConfig, payload_sizes) -> list:
-    """Run ``base`` once per payload size; returns the list of results."""
-    results = []
-    for size in payload_sizes:
-        params = replace(base.params, payload_size=size)
-        results.append(run_experiment(replace(base, params=params)))
-    return results
+def sweep_payload_sizes(base: ExperimentConfig, payload_sizes, jobs: int = 1,
+                        cache_dir: Optional[str] = None,
+                        use_cache: bool = True) -> list:
+    """Run ``base`` once per payload size; returns the list of results.
+
+    The sweep executes as an experiment plan, so it shares the runner's
+    parallelism (``jobs``) and per-spec result cache (``cache_dir``).
+    Configs that cannot be expressed as a spec (latency-model override,
+    non-catalogue datacenters) still sweep, serially and uncached.
+    """
+    # Imported lazily: plan/runner build on the config/result types above.
+    from repro.eval.plan import ExperimentSpec, payload_sweep_plan
+    from repro.eval.runner import run_plan
+
+    try:
+        spec = ExperimentSpec.from_config(base)
+    except ValueError:
+        return [
+            run_experiment(replace(base, params=replace(base.params, payload_size=size)))
+            for size in payload_sizes
+        ]
+    return run_plan(payload_sweep_plan(spec, payload_sizes),
+                    jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)

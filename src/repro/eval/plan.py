@@ -1,0 +1,363 @@
+"""Declarative experiment plans: *what* to run, separated from *how*.
+
+An :class:`ExperimentSpec` is the picklable, JSON-serialisable description of
+one experiment cell — protocol, parameters, topology (by name or placement),
+faults, workload, seed, replication index, and the label/axis metadata that
+places the result in a figure.  An :class:`ExperimentPlan` is an ordered list
+of specs plus presentation metadata; the paper's figures become plan builders
+(:mod:`repro.eval.scenarios`) and a single engine executes any plan serially
+or in parallel with caching (:mod:`repro.eval.runner`).
+
+Two properties make the split work:
+
+* **content hashing** — :meth:`ExperimentSpec.content_hash` is a stable
+  digest of the spec's canonical JSON form, so the runner can cache results
+  on disk and skip cells that already ran, across processes and invocations;
+* **sub-seed derivation** — :func:`derive_subseed` deterministically expands
+  a base seed into independent per-replication, per-component seeds, so
+  network jitter and workload arrivals are uncorrelated across replications
+  while every run stays reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.eval.experiment import ExperimentConfig
+from repro.net.faults import FaultPlan
+from repro.net.topology import (
+    Topology,
+    placement_names,
+    topology_by_name,
+    topology_from_names,
+)
+from repro.protocols.base import ProtocolParams
+from repro.workload.spec import WorkloadSpec
+
+#: Version tag mixed into every content hash; bump when the execution
+#: semantics change so stale cached results are not reused.
+PLAN_FORMAT = 1
+
+
+def derive_subseed(base_seed: int, replication: int, component: str) -> int:
+    """Derive an independent sub-seed for one replication of one component.
+
+    The derivation hashes ``base_seed : replication : component`` with
+    SHA-256, so distinct replications and distinct components (for example
+    ``"net"`` jitter versus ``"workload"`` arrivals) receive uncorrelated
+    seeds, while the mapping is stable across processes and platforms.
+
+    Replication 0 returns ``base_seed`` unchanged: a single-replication plan
+    reproduces exactly the run a plain :func:`repro.eval.experiment.run_experiment`
+    call with the base seed would produce.
+    """
+    if replication == 0:
+        return base_seed
+    digest = hashlib.sha256(
+        f"{base_seed}:{replication}:{component}".encode("utf-8")
+    ).hexdigest()
+    return int(digest[:12], 16)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment cell of a plan, fully described by data.
+
+    Unlike :class:`repro.eval.experiment.ExperimentConfig`, a spec references
+    its topology by *name* (or by a tuple of datacenter region names), so it
+    is picklable, hashable by content, and JSON-serialisable — the properties
+    the parallel runner and the result cache need.
+
+    Attributes:
+        protocol: registered protocol name.
+        params: protocol parameters.
+        topology: named topology (a key of
+            :data:`repro.net.topology.TOPOLOGY_FACTORIES`), an explicit tuple
+            of AWS region names (one per replica), or ``None`` for the
+            default placement.
+        duration: simulated run length in seconds.
+        warmup: initial seconds excluded from the measurements.
+        seed: network seed (latency jitter, drops) of this replication.
+        faults: crash / drop / partition plan.
+        workload: optional client workload driving the run.
+        label: report label (defaults to the protocol name).
+        stragglers: honest straggler replicas with delayed outbound messages.
+        straggler_delay: extra outbound delay per straggler, in seconds.
+        series: figure series this cell belongs to (defaults to ``label``).
+        cell: identifier of the cell within its series (e.g.
+            ``"payload=400000"``); replications of one cell share it.
+        replication: replication index within the cell.
+        axis: extra row columns describing the cell's position on the
+            figure's x-axis (e.g. ``{"crashed_replicas": 4}``).
+    """
+
+    protocol: str
+    params: ProtocolParams
+    topology: Optional[Union[str, Tuple[str, ...]]] = None
+    duration: float = 20.0
+    warmup: float = 2.0
+    seed: int = 0
+    faults: FaultPlan = field(default_factory=FaultPlan.none)
+    workload: Optional[WorkloadSpec] = None
+    label: Optional[str] = None
+    stragglers: int = 0
+    straggler_delay: float = 1.0
+    series: Optional[str] = None
+    cell: str = ""
+    replication: int = 0
+    axis: Dict[str, object] = field(default_factory=dict)
+
+    def resolved_label(self) -> str:
+        """The report label."""
+        return self.label or self.protocol
+
+    def resolved_series(self) -> str:
+        """The figure series this cell belongs to."""
+        return self.series or self.resolved_label()
+
+    def resolved_topology(self) -> Optional[Topology]:
+        """Build the spec's topology (``None`` keeps the config default)."""
+        if self.topology is None:
+            return None
+        if isinstance(self.topology, str):
+            return topology_by_name(self.topology, self.params.n)
+        return topology_from_names(self.topology)
+
+    def to_config(self) -> ExperimentConfig:
+        """Materialise the runnable :class:`ExperimentConfig`."""
+        return ExperimentConfig(
+            protocol=self.protocol,
+            params=self.params,
+            topology=self.resolved_topology(),
+            duration=self.duration,
+            warmup=self.warmup,
+            seed=self.seed,
+            faults=self.faults,
+            label=self.label,
+            workload=self.workload,
+            stragglers=self.stragglers,
+            straggler_delay=self.straggler_delay,
+        )
+
+    @classmethod
+    def from_config(cls, config: ExperimentConfig, **meta: object) -> "ExperimentSpec":
+        """Describe an existing config as a spec.
+
+        The config's topology is captured as its region-name placement;
+        ``meta`` forwards spec-only fields (``series``, ``cell``,
+        ``replication``, ``axis``).
+
+        Raises:
+            ValueError: if the config cannot be expressed as data — it
+                carries a latency-model override, or its topology uses
+                datacenters that are not (exactly) catalogue entries of
+                :data:`repro.net.topology.AWS_REGIONS`, so rebuilding the
+                spec elsewhere would run on a different network.
+        """
+        if config.latency is not None:
+            raise ValueError("configs with a latency-model override have no spec form")
+        topology = None
+        if config.topology is not None:
+            topology = tuple(placement_names(config.topology))
+        return cls(
+            protocol=config.protocol,
+            params=config.params,
+            topology=topology,
+            duration=config.duration,
+            warmup=config.warmup,
+            seed=config.seed,
+            faults=config.faults,
+            workload=config.workload,
+            label=config.label,
+            stragglers=config.stragglers,
+            straggler_delay=config.straggler_delay,
+            **meta,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization and hashing
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dictionary (inverse of :meth:`from_dict`)."""
+        return {
+            "protocol": self.protocol,
+            "params": self.params.to_dict(),
+            "topology": (
+                list(self.topology)
+                if isinstance(self.topology, tuple) else self.topology
+            ),
+            "duration": self.duration,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "faults": self.faults.to_dict(),
+            "workload": self.workload.to_dict() if self.workload is not None else None,
+            "label": self.label,
+            "stragglers": self.stragglers,
+            "straggler_delay": self.straggler_delay,
+            "series": self.series,
+            "cell": self.cell,
+            "replication": self.replication,
+            "axis": dict(self.axis),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        topology = data.get("topology")
+        workload = data.get("workload")
+        return cls(
+            protocol=str(data["protocol"]),
+            params=ProtocolParams.from_dict(data["params"]),
+            topology=tuple(topology) if isinstance(topology, list) else topology,
+            duration=float(data["duration"]),
+            warmup=float(data["warmup"]),
+            seed=int(data["seed"]),
+            faults=FaultPlan.from_dict(data.get("faults", {})),
+            workload=WorkloadSpec.from_dict(workload) if workload is not None else None,
+            label=data.get("label"),
+            stragglers=int(data.get("stragglers", 0)),
+            straggler_delay=float(data.get("straggler_delay", 1.0)),
+            series=data.get("series"),
+            cell=str(data.get("cell", "")),
+            replication=int(data.get("replication", 0)),
+            axis=dict(data.get("axis", {})),
+        )
+
+    def content_hash(self) -> str:
+        """Stable hex digest of the spec's canonical JSON form.
+
+        Two specs hash equal iff they describe the same experiment (including
+        presentation metadata, so relabelling a cell re-runs it rather than
+        serving a stale row).  The runner uses this as the cache key.
+        """
+        canonical = json.dumps(
+            {"format": PLAN_FORMAT, "spec": self.to_dict()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # Replication fan-out
+    # ------------------------------------------------------------------ #
+
+    def replicated(self, replications: int) -> List["ExperimentSpec"]:
+        """Fan this cell out into ``replications`` independent runs.
+
+        Replication 0 is this spec verbatim; replication ``k > 0`` derives
+        fresh network and workload seeds via :func:`derive_subseed`, so the
+        replications sample independent jitter and arrival randomness.
+
+        Raises:
+            ValueError: if ``replications`` is not positive.
+        """
+        if replications < 1:
+            raise ValueError("replications must be positive")
+        specs: List[ExperimentSpec] = []
+        for k in range(replications):
+            workload = self.workload
+            if workload is not None and k > 0:
+                workload = dataclasses.replace(
+                    workload, seed=derive_subseed(workload.seed, k, "workload")
+                )
+            specs.append(dataclasses.replace(
+                self,
+                seed=derive_subseed(self.seed, k, "net"),
+                workload=workload,
+                replication=k,
+            ))
+        return specs
+
+
+@dataclass
+class ExperimentPlan:
+    """An ordered collection of experiment specs plus figure metadata.
+
+    The spec order is the result order: the runner returns one
+    :class:`repro.eval.experiment.ExperimentResult` per spec, in plan order,
+    regardless of how many worker processes executed them.
+
+    Attributes:
+        name: plan identifier (e.g. ``"6a"``).
+        title: human-readable description.
+        specs: the experiment cells, replications expanded.
+        columns: report columns; ``None`` selects the figure default.
+        replications: replications per cell (bookkeeping for rendering).
+    """
+
+    name: str
+    title: str
+    specs: List[ExperimentSpec] = field(default_factory=list)
+    columns: Optional[List[str]] = None
+    replications: int = 1
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def with_replications(self, replications: int) -> "ExperimentPlan":
+        """A copy of the plan with every cell fanned out over sub-seeds.
+
+        Replications of one cell stay adjacent in the spec order, so results
+        group naturally and a partially cached plan re-runs contiguous gaps.
+        """
+        specs: List[ExperimentSpec] = []
+        for spec in self.specs:
+            specs.extend(spec.replicated(replications))
+        return ExperimentPlan(
+            name=self.name,
+            title=self.title,
+            specs=specs,
+            columns=list(self.columns) if self.columns is not None else None,
+            replications=replications,
+        )
+
+    def cells(self) -> List[Tuple[str, str]]:
+        """Distinct ``(series, cell)`` pairs in first-occurrence order."""
+        seen: List[Tuple[str, str]] = []
+        for spec in self.specs:
+            key = (spec.resolved_series(), spec.cell)
+            if key not in seen:
+                seen.append(key)
+        return seen
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dictionary (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "specs": [spec.to_dict() for spec in self.specs],
+            "columns": list(self.columns) if self.columns is not None else None,
+            "replications": self.replications,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        columns = data.get("columns")
+        return cls(
+            name=str(data["name"]),
+            title=str(data["title"]),
+            specs=[ExperimentSpec.from_dict(spec) for spec in data.get("specs", [])],
+            columns=list(columns) if columns is not None else None,
+            replications=int(data.get("replications", 1)),
+        )
+
+
+def payload_sweep_plan(base: ExperimentSpec, payload_sizes: Sequence[int],
+                       name: str = "payload-sweep",
+                       title: str = "payload-size sweep") -> ExperimentPlan:
+    """Build a plan varying ``base`` over payload sizes (one cell per size)."""
+    specs = [
+        dataclasses.replace(
+            base,
+            params=dataclasses.replace(base.params, payload_size=size),
+            cell=f"payload={size}",
+        )
+        for size in payload_sizes
+    ]
+    return ExperimentPlan(name=name, title=title, specs=specs)

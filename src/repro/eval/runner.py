@@ -1,0 +1,168 @@
+"""Plan execution: serial or process-parallel, with a JSON result cache.
+
+``run_plan`` is the single engine behind every figure, ablation, and sweep:
+it takes an :class:`repro.eval.plan.ExperimentPlan` (or a bare list of
+specs) and returns one :class:`repro.eval.experiment.ExperimentResult` per
+spec **in plan order**, regardless of execution order.  Three orthogonal
+features:
+
+* **parallelism** — ``jobs=N`` fans uncached specs out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`; each simulation is
+  deterministic given its spec, so parallel results are byte-identical to
+  serial ones;
+* **caching** — with a ``cache_dir``, each finished spec is written to
+  ``<cache_dir>/<content_hash>.json`` (atomically) and re-running a plan
+  skips every completed cell, making sweep invocations resumable;
+* **progress** — an optional callback receives a :class:`ProgressEvent`
+  per completed spec (cached or executed), for CLI progress lines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.eval.experiment import ExperimentResult, run_experiment
+from repro.eval.plan import ExperimentPlan, ExperimentSpec
+
+#: Signature of the progress callback accepted by :func:`run_plan`.
+ProgressCallback = Callable[["ProgressEvent"], None]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One completed spec, reported to the progress callback.
+
+    Attributes:
+        completed: specs finished so far (cached + executed).
+        total: total specs in the plan.
+        spec: the spec that just finished.
+        cached: whether the result came from the cache.
+    """
+
+    completed: int
+    total: int
+    spec: ExperimentSpec
+    cached: bool
+
+
+def execute_spec(spec: ExperimentSpec) -> ExperimentResult:
+    """Run one spec to completion (deterministic given the spec)."""
+    return run_experiment(spec.to_config())
+
+
+def _execute_serialized(spec_data: Dict[str, object]) -> Dict[str, object]:
+    """Worker entry point: dict in, dict out, so only JSON-ready data crosses
+    the process boundary and every parallel result passes through the same
+    serialisation layer the cache uses."""
+    result = execute_spec(ExperimentSpec.from_dict(spec_data))
+    return result.to_dict()
+
+
+def cache_path(cache_dir: str, spec: ExperimentSpec) -> str:
+    """The cache file that holds (or would hold) the spec's result."""
+    return os.path.join(cache_dir, f"{spec.content_hash()}.json")
+
+
+def _cache_load(cache_dir: str, spec: ExperimentSpec) -> Optional[ExperimentResult]:
+    """Load a cached result; ``None`` on miss or an unreadable/corrupt file."""
+    path = cache_path(cache_dir, spec)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        return ExperimentResult.from_dict(data)
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def _cache_store(cache_dir: str, spec: ExperimentSpec, data: Dict[str, object]) -> None:
+    """Atomically write a result record (temp file + rename), best-effort."""
+    path = cache_path(cache_dir, spec)
+    try:
+        os.makedirs(cache_dir, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=cache_dir, suffix=".tmp", delete=False
+        )
+        with handle:
+            json.dump(data, handle)
+        os.replace(handle.name, path)
+    except OSError:
+        # A read-only or full cache directory degrades to uncached operation.
+        pass
+
+
+def run_plan(
+    plan: Union[ExperimentPlan, Sequence[ExperimentSpec]],
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressCallback] = None,
+) -> List[ExperimentResult]:
+    """Execute every spec of ``plan`` and return results in plan order.
+
+    Args:
+        plan: an :class:`ExperimentPlan` or a plain spec sequence.
+        jobs: worker processes; 1 executes in-process (no pool).
+        cache_dir: directory of per-spec JSON result files; ``None``
+            disables caching entirely.
+        use_cache: when False, cached results are ignored (they are still
+            rewritten after execution, refreshing the cache).
+        progress: optional per-spec completion callback.
+
+    Returns:
+        One :class:`ExperimentResult` per spec, ordered like the plan —
+        identical for any ``jobs`` value.
+    """
+    specs = list(plan.specs if isinstance(plan, ExperimentPlan) else plan)
+    if jobs < 1:
+        raise ValueError("jobs must be positive")
+    total = len(specs)
+    results: List[Optional[ExperimentResult]] = [None] * total
+    completed = 0
+
+    def report(index: int, cached: bool) -> None:
+        if progress is not None:
+            progress(ProgressEvent(
+                completed=completed, total=total, spec=specs[index], cached=cached,
+            ))
+
+    pending: List[int] = []
+    for index, spec in enumerate(specs):
+        cached = None
+        if cache_dir is not None and use_cache:
+            cached = _cache_load(cache_dir, spec)
+        if cached is not None:
+            results[index] = cached
+            completed += 1
+            report(index, cached=True)
+        else:
+            pending.append(index)
+
+    def finish(index: int, data: Dict[str, object]) -> None:
+        nonlocal completed
+        if cache_dir is not None:
+            _cache_store(cache_dir, specs[index], data)
+        results[index] = ExperimentResult.from_dict(data)
+        completed += 1
+        report(index, cached=False)
+
+    if jobs == 1 or len(pending) <= 1:
+        for index in pending:
+            finish(index, execute_spec(specs[index]).to_dict())
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_execute_serialized, specs[index].to_dict()): index
+                for index in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    finish(futures[future], future.result())
+
+    return [result for result in results if result is not None]

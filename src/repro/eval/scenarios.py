@@ -1,11 +1,19 @@
-"""Per-figure scenario presets (Figures 6a–6e) and ablations.
+"""Per-figure scenario presets (Figures 6a–6e) and ablations, as plans.
 
-Each ``figure_*`` function reproduces one evaluation figure of the paper: it
-builds the same replica placement, protocol line-up, and workload sweep, runs
-the experiments on the simulated network, and returns the series the paper
-plots (plus a ``render()``-able report).  Durations default to values that
-keep the full suite runnable on a laptop; pass ``duration`` / ``payload
-sizes`` explicitly to run longer sweeps.
+Each figure of the paper is described twice here:
+
+* a ``plan_*`` builder returns the declarative
+  :class:`repro.eval.plan.ExperimentPlan` — the grid of protocol × payload ×
+  fault × workload cells, optionally fanned out over ``seeds`` independent
+  replications;
+* a ``figure_*`` wrapper executes that plan through
+  :func:`repro.eval.runner.run_plan` (serially or with ``jobs`` worker
+  processes, optionally cached in ``cache_dir``) and aggregates the
+  replications into a :class:`FigureResult`, with mean ± 95% CI columns when
+  more than one replication ran.
+
+Durations default to values that keep the full suite runnable on a laptop;
+pass ``duration`` / payload sizes explicitly to run longer sweeps.
 
 Protocol line-ups follow Section 9:
 
@@ -18,26 +26,17 @@ Protocol line-ups follow Section 9:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.report import render_series
-from repro.analysis.stats import improvement_pct
-from repro.byzantine.behaviors import DelayedReplica
-from repro.eval.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.analysis.report import render_series, with_ci_columns
+from repro.analysis.stats import ci95_half_width, improvement_pct, mean
+from repro.eval.experiment import ExperimentResult
+from repro.eval.plan import ExperimentPlan, ExperimentSpec
+from repro.eval.runner import ProgressCallback, run_plan
 from repro.net.faults import FaultPlan
-from repro.net.latency import GeoLatency
-from repro.net.topology import (
-    Topology,
-    four_global_datacenters,
-    four_us_datacenters,
-    worldwide_datacenters,
-)
 from repro.protocols.base import ProtocolParams
-from repro.protocols.registry import create_replicas
-from repro.runtime.simulator import NetworkConfig, Simulation
-from repro.smr.metrics import MetricsCollector
-from repro.smr.mempool import PayloadSource
 from repro.workload.spec import WorkloadSpec
 
 #: Per-rank delay (``2Δ``) used for the global-topology experiments; chosen
@@ -50,6 +49,16 @@ GLOBAL_RANK_DELAY = 0.6
 #: this timeout to 3 seconds (Section 9.4).
 CRASH_EXPERIMENT_RANK_DELAY = 3.0
 
+#: Measurement columns that receive a ``<col>_ci95`` half-width column when a
+#: figure aggregates more than one replication.  Identity columns (payload
+#: size, crash counts, offered rate) deliberately get none.
+CI_COLUMNS = (
+    "mean_latency_ms", "p95_latency_ms", "latency_stddev_ms",
+    "throughput_MBps", "blocks_per_s", "block_interval_ms",
+    "fast_path_ratio",
+    "tx_p50_ms", "tx_p95_ms", "tx_p99_ms", "goodput_tx_per_s",
+)
+
 
 @dataclass
 class FigureResult:
@@ -58,10 +67,13 @@ class FigureResult:
     Attributes:
         figure: figure identifier, e.g. ``"6a"``.
         title: human-readable description.
-        series: protocol label → list of result rows (dictionaries).
-        results: the underlying experiment results.
+        series: protocol label → list of result rows (dictionaries).  With
+            multiple replications, rows are per-cell means and carry
+            ``<col>_ci95`` half-width columns.
+        results: the underlying experiment results (every replication).
         columns: report columns; ``None`` selects the figure default
             (workload scenarios report client-side columns instead).
+        replications: independent replications aggregated into each row.
     """
 
     figure: str
@@ -69,6 +81,7 @@ class FigureResult:
     series: Dict[str, List[Dict[str, object]]]
     results: List[ExperimentResult] = field(default_factory=list)
     columns: Optional[List[str]] = None
+    replications: int = 1
 
     def render(self) -> str:
         """Render the figure's data as a plain-text report."""
@@ -76,17 +89,30 @@ class FigureResult:
             "payload_bytes", "mean_latency_ms", "p95_latency_ms",
             "latency_stddev_ms", "throughput_MBps", "block_interval_ms",
             "fast_path_ratio", "committed_blocks"]
-        return render_series(f"Figure {self.figure}: {self.title}", self.series, columns)
+        columns = with_ci_columns(columns, self.series)
+        title = f"Figure {self.figure}: {self.title}"
+        if self.replications > 1:
+            title += f" (mean of {self.replications} replications, ±95% CI)"
+        return render_series(title, self.series, columns)
 
     def mean_latency(self, label: str, payload_bytes: Optional[int] = None) -> float:
-        """Mean latency (seconds) of a protocol label at a payload size."""
-        for result in self.results:
-            if result.label != label:
-                continue
-            if payload_bytes is not None and result.config.params.payload_size != payload_bytes:
-                continue
-            return result.metrics.mean_latency
-        raise KeyError(f"no result for label {label!r} and payload {payload_bytes!r}")
+        """Mean latency (seconds) of a protocol label at a payload size,
+        averaged over replications.
+
+        ``payload_bytes=None`` selects the label's first payload size (as a
+        single-replication figure would), never a cross-payload average.
+        """
+        candidates = [result for result in self.results if result.label == label]
+        if payload_bytes is None and candidates:
+            payload_bytes = candidates[0].config.params.payload_size
+        matches = [
+            result.metrics.mean_latency
+            for result in candidates
+            if result.config.params.payload_size == payload_bytes
+        ]
+        if not matches:
+            raise KeyError(f"no result for label {label!r} and payload {payload_bytes!r}")
+        return mean(matches)
 
     def improvement_over(self, baseline_label: str, improved_label: str,
                          payload_bytes: Optional[int] = None) -> float:
@@ -95,6 +121,78 @@ class FigureResult:
             self.mean_latency(baseline_label, payload_bytes),
             self.mean_latency(improved_label, payload_bytes),
         )
+
+
+# --------------------------------------------------------------------- #
+# Aggregation: plan + results → figure
+# --------------------------------------------------------------------- #
+
+
+def _aggregate_rows(rows: List[Dict[str, object]]) -> Dict[str, object]:
+    """Collapse one cell's replication rows into a mean row with CI columns.
+
+    A single row passes through unchanged, so ``seeds=1`` output is
+    byte-identical to a direct :meth:`ExperimentResult.row`.
+    """
+    if len(rows) == 1:
+        return dict(rows[0])
+    aggregated: Dict[str, object] = {}
+    for key in rows[0]:
+        values = [row[key] for row in rows]
+        if all(isinstance(value, (int, float)) and not isinstance(value, bool)
+               for value in values):
+            centre = mean([float(value) for value in values])
+            if all(isinstance(value, int) for value in values) and float(centre).is_integer():
+                aggregated[key] = int(centre)
+            else:
+                aggregated[key] = round(centre, 4)
+        else:
+            aggregated[key] = values[0]
+    for key in CI_COLUMNS:
+        if key in rows[0]:
+            aggregated[f"{key}_ci95"] = round(
+                ci95_half_width([float(row[key]) for row in rows]), 4
+            )
+    return aggregated
+
+
+def figure_from_plan(plan: ExperimentPlan,
+                     results: Sequence[ExperimentResult]) -> FigureResult:
+    """Aggregate a plan's results (in plan order) into a :class:`FigureResult`.
+
+    Replications of one ``(series, cell)`` pair collapse into a single row of
+    per-column means plus ``<col>_ci95`` half-width columns; the spec's
+    ``axis`` metadata becomes extra row columns.
+    """
+    if len(results) != len(plan.specs):
+        raise ValueError(
+            f"plan has {len(plan.specs)} specs but {len(results)} results were given"
+        )
+    cells: Dict[object, List[Dict[str, object]]] = {}
+    for spec, result in zip(plan.specs, results):
+        row = result.row()
+        row.update(spec.axis)
+        cells.setdefault((spec.resolved_series(), spec.cell), []).append(row)
+    series: Dict[str, List[Dict[str, object]]] = {}
+    for (series_label, _), rows in cells.items():
+        series.setdefault(series_label, []).append(_aggregate_rows(rows))
+    return FigureResult(
+        figure=plan.name,
+        title=plan.title,
+        series=series,
+        results=list(results),
+        columns=plan.columns,
+        replications=plan.replications,
+    )
+
+
+def run_figure(plan: ExperimentPlan, jobs: int = 1,
+               cache_dir: Optional[str] = None, use_cache: bool = True,
+               progress: Optional[ProgressCallback] = None) -> FigureResult:
+    """Execute a plan and aggregate it into a :class:`FigureResult`."""
+    results = run_plan(plan, jobs=jobs, cache_dir=cache_dir,
+                       use_cache=use_cache, progress=progress)
+    return figure_from_plan(plan, results)
 
 
 # --------------------------------------------------------------------- #
@@ -168,38 +266,26 @@ def _lineup_n4(rank_delay: float, payload_size: int) -> List[Dict[str, object]]:
     ]
 
 
-def _run_sweep(figure: str, title: str, lineup: List[Dict[str, object]],
-               topology: Topology, payload_sizes: Sequence[int],
-               duration: float, warmup: float, seed: int,
-               faults: Optional[FaultPlan] = None) -> FigureResult:
-    """Run every (protocol, payload size) combination and collect the series."""
-    series: Dict[str, List[Dict[str, object]]] = {}
-    results: List[ExperimentResult] = []
+def _sweep_plan(name: str, title: str, lineup: List[Dict[str, object]],
+                topology: str, payload_sizes: Sequence[int],
+                duration: float, warmup: float, seed: int, seeds: int,
+                faults: Optional[FaultPlan] = None) -> ExperimentPlan:
+    """A plan over every (protocol, payload size) cell, fanned out over seeds."""
+    specs: List[ExperimentSpec] = []
     for entry in lineup:
-        label = entry["label"]
-        series[label] = []
         for payload_size in payload_sizes:
-            params = entry["params"]
-            params = ProtocolParams(
-                n=params.n, f=params.f, p=params.p, rank_delay=params.rank_delay,
-                round_timeout=params.round_timeout, payload_size=payload_size,
-                sign_messages=params.sign_messages, relay_proposals=params.relay_proposals,
-                seed=params.seed,
-            )
-            config = ExperimentConfig(
+            specs.append(ExperimentSpec(
                 protocol=entry["protocol"],
-                params=params,
+                params=dataclasses.replace(entry["params"], payload_size=payload_size),
                 topology=topology,
                 duration=duration,
                 warmup=warmup,
                 seed=seed,
                 faults=faults or FaultPlan.none(),
-                label=label,
-            )
-            result = run_experiment(config)
-            results.append(result)
-            series[label].append(result.row())
-    return FigureResult(figure=figure, title=title, series=series, results=results)
+                label=entry["label"],
+                cell=f"payload={payload_size}",
+            ))
+    return ExperimentPlan(name=name, title=title, specs=specs).with_replications(seeds)
 
 
 # --------------------------------------------------------------------- #
@@ -207,43 +293,70 @@ def _run_sweep(figure: str, title: str, lineup: List[Dict[str, object]],
 # --------------------------------------------------------------------- #
 
 
-def figure_6a(payload_sizes: Sequence[int] = (100_000, 200_000, 400_000),
-              duration: float = 20.0, warmup: float = 2.0, seed: int = 0) -> FigureResult:
-    """Figure 6a: throughput vs. latency, n=19 over 4 global datacenters."""
-    topology = four_global_datacenters(19)
+def plan_figure_6a(payload_sizes: Sequence[int] = (100_000, 200_000, 400_000),
+                   duration: float = 20.0, warmup: float = 2.0, seed: int = 0,
+                   seeds: int = 1) -> ExperimentPlan:
+    """Plan for Figure 6a: n=19 over 4 global datacenters."""
     lineup = _lineup_n19(GLOBAL_RANK_DELAY, payload_sizes[0])
-    return _run_sweep("6a", "n=19 across 4 global datacenters (5/5/5/4 split)",
-                      lineup, topology, payload_sizes, duration, warmup, seed)
+    return _sweep_plan("6a", "n=19 across 4 global datacenters (5/5/5/4 split)",
+                       lineup, "global4", payload_sizes, duration, warmup, seed, seeds)
+
+
+def figure_6a(payload_sizes: Sequence[int] = (100_000, 200_000, 400_000),
+              duration: float = 20.0, warmup: float = 2.0, seed: int = 0,
+              seeds: int = 1, jobs: int = 1, cache_dir: Optional[str] = None,
+              use_cache: bool = True,
+              progress: Optional[ProgressCallback] = None) -> FigureResult:
+    """Figure 6a: throughput vs. latency, n=19 over 4 global datacenters."""
+    return run_figure(plan_figure_6a(payload_sizes, duration, warmup, seed, seeds),
+                      jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                      progress=progress)
+
+
+def plan_figure_6b(payload_sizes: Sequence[int] = (500_000, 1_000_000, 1_500_000),
+                   duration: float = 20.0, warmup: float = 2.0, seed: int = 0,
+                   seeds: int = 1) -> ExperimentPlan:
+    """Plan for Figure 6b: n=4, one replica per global datacenter."""
+    lineup = _lineup_n4(GLOBAL_RANK_DELAY, payload_sizes[0])
+    return _sweep_plan("6b", "n=4, one replica per global datacenter",
+                       lineup, "global4", payload_sizes, duration, warmup, seed, seeds)
 
 
 def figure_6b(payload_sizes: Sequence[int] = (500_000, 1_000_000, 1_500_000),
-              duration: float = 20.0, warmup: float = 2.0, seed: int = 0) -> FigureResult:
+              duration: float = 20.0, warmup: float = 2.0, seed: int = 0,
+              seeds: int = 1, jobs: int = 1, cache_dir: Optional[str] = None,
+              use_cache: bool = True,
+              progress: Optional[ProgressCallback] = None) -> FigureResult:
     """Figure 6b: throughput vs. latency, n=4, one replica per global datacenter."""
-    topology = four_global_datacenters(4)
-    lineup = _lineup_n4(GLOBAL_RANK_DELAY, payload_sizes[0])
-    return _run_sweep("6b", "n=4, one replica per global datacenter",
-                      lineup, topology, payload_sizes, duration, warmup, seed)
+    return run_figure(plan_figure_6b(payload_sizes, duration, warmup, seed, seeds),
+                      jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                      progress=progress)
+
+
+def plan_figure_6c(payload_size: int = 1_000_000, duration: float = 30.0,
+                   warmup: float = 2.0, seed: int = 0, seeds: int = 1) -> ExperimentPlan:
+    """Plan for Figure 6c: Banyan vs. ICC latency distribution, n=4."""
+    lineup = [entry for entry in _lineup_n4(GLOBAL_RANK_DELAY, payload_size)
+              if entry["label"] in ("banyan (p=1)", "icc")]
+    return _sweep_plan("6c", "latency variance, n=4, 1 MB payload",
+                       lineup, "global4", [payload_size], duration, warmup, seed, seeds)
 
 
 def figure_6c(payload_size: int = 1_000_000, duration: float = 30.0,
-              warmup: float = 2.0, seed: int = 0) -> FigureResult:
+              warmup: float = 2.0, seed: int = 0,
+              seeds: int = 1, jobs: int = 1, cache_dir: Optional[str] = None,
+              use_cache: bool = True,
+              progress: Optional[ProgressCallback] = None) -> FigureResult:
     """Figure 6c: latency distribution of Banyan vs. ICC, n=4, 1 MB payload."""
-    topology = four_global_datacenters(4)
-    lineup = [entry for entry in _lineup_n4(GLOBAL_RANK_DELAY, payload_size)
-              if entry["label"] in ("banyan (p=1)", "icc")]
-    figure = _run_sweep("6c", "latency variance, n=4, 1 MB payload",
-                        lineup, topology, [payload_size], duration, warmup, seed)
-    figure.figure = "6c"
-    return figure
+    return run_figure(plan_figure_6c(payload_size, duration, warmup, seed, seeds),
+                      jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                      progress=progress)
 
 
-def figure_6d(crash_counts: Sequence[int] = (0, 2, 4, 6),
-              payload_size: int = 100_000, duration: float = 60.0,
-              warmup: float = 2.0, seed: int = 0) -> FigureResult:
-    """Figure 6d: crash faults, n=19 over 4 US datacenters, 3 s timeout."""
-    topology = four_us_datacenters(19)
-    series: Dict[str, List[Dict[str, object]]] = {}
-    results: List[ExperimentResult] = []
+def plan_figure_6d(crash_counts: Sequence[int] = (0, 2, 4, 6),
+                   payload_size: int = 100_000, duration: float = 60.0,
+                   warmup: float = 2.0, seed: int = 0, seeds: int = 1) -> ExperimentPlan:
+    """Plan for Figure 6d: crash faults, n=19 over 4 US datacenters."""
     lineup = [
         ("banyan (p=1)", "banyan", ProtocolParams(n=19, f=6, p=1,
                                                   rank_delay=CRASH_EXPERIMENT_RANK_DELAY,
@@ -252,35 +365,53 @@ def figure_6d(crash_counts: Sequence[int] = (0, 2, 4, 6),
                                       rank_delay=CRASH_EXPERIMENT_RANK_DELAY,
                                       payload_size=payload_size)),
     ]
+    specs: List[ExperimentSpec] = []
     for label, protocol, params in lineup:
-        series[label] = []
         for crashes in crash_counts:
-            faults = FaultPlan.with_crashed(range(crashes))
-            config = ExperimentConfig(
-                protocol=protocol, params=params, topology=topology,
-                duration=duration, warmup=warmup, seed=seed, faults=faults,
-                label=label,
-            )
-            result = run_experiment(config)
-            results.append(result)
-            row = result.row()
-            row["crashed_replicas"] = crashes
-            series[label].append(row)
-    return FigureResult(
-        figure="6d",
+            specs.append(ExperimentSpec(
+                protocol=protocol, params=params, topology="us4",
+                duration=duration, warmup=warmup, seed=seed,
+                faults=FaultPlan.with_crashed(range(crashes)), label=label,
+                cell=f"crashes={crashes}", axis={"crashed_replicas": crashes},
+            ))
+    plan = ExperimentPlan(
+        name="6d",
         title="crash faults, n=19 across 4 US datacenters (timeout 3 s)",
-        series=series,
-        results=results,
+        specs=specs,
     )
+    return plan.with_replications(seeds)
+
+
+def figure_6d(crash_counts: Sequence[int] = (0, 2, 4, 6),
+              payload_size: int = 100_000, duration: float = 60.0,
+              warmup: float = 2.0, seed: int = 0,
+              seeds: int = 1, jobs: int = 1, cache_dir: Optional[str] = None,
+              use_cache: bool = True,
+              progress: Optional[ProgressCallback] = None) -> FigureResult:
+    """Figure 6d: crash faults, n=19 over 4 US datacenters, 3 s timeout."""
+    return run_figure(plan_figure_6d(crash_counts, payload_size, duration,
+                                     warmup, seed, seeds),
+                      jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                      progress=progress)
+
+
+def plan_figure_6e(payload_sizes: Sequence[int] = (1_000_000,), duration: float = 20.0,
+                   warmup: float = 2.0, seed: int = 0, seeds: int = 1) -> ExperimentPlan:
+    """Plan for Figure 6e: n=19 across 19 worldwide datacenters."""
+    lineup = _lineup_n19(GLOBAL_RANK_DELAY, payload_sizes[0])
+    return _sweep_plan("6e", "n=19 across a worldwide network (19 datacenters)",
+                       lineup, "worldwide", payload_sizes, duration, warmup, seed, seeds)
 
 
 def figure_6e(payload_sizes: Sequence[int] = (1_000_000,), duration: float = 20.0,
-              warmup: float = 2.0, seed: int = 0) -> FigureResult:
+              warmup: float = 2.0, seed: int = 0,
+              seeds: int = 1, jobs: int = 1, cache_dir: Optional[str] = None,
+              use_cache: bool = True,
+              progress: Optional[ProgressCallback] = None) -> FigureResult:
     """Figure 6e: n=19 replicas spread across 19 worldwide datacenters."""
-    topology = worldwide_datacenters(19)
-    lineup = _lineup_n19(GLOBAL_RANK_DELAY, payload_sizes[0])
-    return _run_sweep("6e", "n=19 across a worldwide network (19 datacenters)",
-                      lineup, topology, payload_sizes, duration, warmup, seed)
+    return run_figure(plan_figure_6e(payload_sizes, duration, warmup, seed, seeds),
+                      jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                      progress=progress)
 
 
 # --------------------------------------------------------------------- #
@@ -296,10 +427,42 @@ WORKLOAD_COLUMNS = [
 ]
 
 
+def plan_saturation_sweep(rates: Sequence[float] = (10, 30, 60, 120),
+                          protocol: str = "banyan", n: int = 4, f: int = 1, p: int = 1,
+                          tx_size: int = 512, max_block_bytes: int = 65_536,
+                          duration: float = 30.0, seed: int = 0,
+                          seeds: int = 1) -> ExperimentPlan:
+    """Plan for the open-loop Poisson saturation sweep (one cell per rate)."""
+    params = ProtocolParams(n=n, f=f, p=p, rank_delay=GLOBAL_RANK_DELAY)
+    label = f"{protocol} (n={n}, poisson)"
+    specs = [
+        ExperimentSpec(
+            protocol=protocol, params=params, topology="global4",
+            duration=duration, warmup=0.0, seed=seed, label=label,
+            workload=WorkloadSpec(
+                mode="open", arrival="poisson", rate=float(rate), tx_size=tx_size,
+                max_block_bytes=max_block_bytes, seed=seed,
+            ),
+            cell=f"rate={rate:g}", axis={"offered_tx_per_s": rate},
+        )
+        for rate in rates
+    ]
+    plan = ExperimentPlan(
+        name="workload-saturation",
+        title=f"open-loop Poisson saturation sweep, {protocol} n={n}",
+        specs=specs,
+        columns=list(WORKLOAD_COLUMNS),
+    )
+    return plan.with_replications(seeds)
+
+
 def saturation_sweep(rates: Sequence[float] = (10, 30, 60, 120),
                      protocol: str = "banyan", n: int = 4, f: int = 1, p: int = 1,
                      tx_size: int = 512, max_block_bytes: int = 65_536,
-                     duration: float = 30.0, seed: int = 0) -> FigureResult:
+                     duration: float = 30.0, seed: int = 0,
+                     seeds: int = 1, jobs: int = 1, cache_dir: Optional[str] = None,
+                     use_cache: bool = True,
+                     progress: Optional[ProgressCallback] = None) -> FigureResult:
     """Open-loop Poisson saturation sweep: offered load vs. client latency.
 
     For each arrival rate, clients submit fixed-size transactions to their
@@ -309,40 +472,50 @@ def saturation_sweep(rates: Sequence[float] = (10, 30, 60, 120),
     consensus floor; past saturation, mempools back up and client latency
     grows without bound — the knee is the system's capacity.
     """
-    topology = four_global_datacenters(n)
+    return run_figure(plan_saturation_sweep(rates, protocol, n, f, p, tx_size,
+                                            max_block_bytes, duration, seed, seeds),
+                      jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                      progress=progress)
+
+
+def plan_flash_crowd(base_rate: float = 15.0, burst_rate: float = 250.0,
+                     burst_start: float = 8.0, burst_duration: float = 4.0,
+                     protocol: str = "banyan", n: int = 4, f: int = 1, p: int = 1,
+                     tx_size: int = 512, max_block_bytes: int = 65_536,
+                     duration: float = 40.0, seed: int = 0,
+                     seeds: int = 1) -> ExperimentPlan:
+    """Plan for the flash-crowd scenario (a single burst cell)."""
     params = ProtocolParams(n=n, f=f, p=p, rank_delay=GLOBAL_RANK_DELAY)
-    label = f"{protocol} (n={n}, poisson)"
-    series: Dict[str, List[Dict[str, object]]] = {label: []}
-    results: List[ExperimentResult] = []
-    for rate in rates:
-        workload = WorkloadSpec(
-            mode="open", arrival="poisson", rate=float(rate), tx_size=tx_size,
-            max_block_bytes=max_block_bytes, seed=seed,
-        )
-        config = ExperimentConfig(
-            protocol=protocol, params=params, topology=topology,
-            duration=duration, warmup=0.0, seed=seed, label=label,
-            workload=workload,
-        )
-        result = run_experiment(config)
-        results.append(result)
-        row = result.row()
-        row["offered_tx_per_s"] = rate
-        series[label].append(row)
-    return FigureResult(
-        figure="workload-saturation",
-        title=f"open-loop Poisson saturation sweep, {protocol} n={n}",
-        series=series,
-        results=results,
-        columns=WORKLOAD_COLUMNS,
+    label = f"{protocol} (n={n}, flash crowd)"
+    spec = ExperimentSpec(
+        protocol=protocol, params=params, topology="global4",
+        duration=duration, warmup=0.0, seed=seed, label=label,
+        workload=WorkloadSpec(
+            mode="open", arrival="flash-crowd", rate=base_rate,
+            burst_rate=burst_rate, burst_start=burst_start,
+            burst_duration=burst_duration, tx_size=tx_size,
+            max_block_bytes=max_block_bytes, sample_interval=0.5, seed=seed,
+        ),
+        axis={"offered_tx_per_s": base_rate},
     )
+    plan = ExperimentPlan(
+        name="workload-flash-crowd",
+        title=(f"flash crowd, {protocol} n={n}: {base_rate:g}→{burst_rate:g} tx/s "
+               f"during [{burst_start:g}s, {burst_start + burst_duration:g}s)"),
+        specs=[spec],
+        columns=list(WORKLOAD_COLUMNS),
+    )
+    return plan.with_replications(seeds)
 
 
 def flash_crowd(base_rate: float = 15.0, burst_rate: float = 250.0,
                 burst_start: float = 8.0, burst_duration: float = 4.0,
                 protocol: str = "banyan", n: int = 4, f: int = 1, p: int = 1,
                 tx_size: int = 512, max_block_bytes: int = 65_536,
-                duration: float = 40.0, seed: int = 0) -> FigureResult:
+                duration: float = 40.0, seed: int = 0,
+                seeds: int = 1, jobs: int = 1, cache_dir: Optional[str] = None,
+                use_cache: bool = True,
+                progress: Optional[ProgressCallback] = None) -> FigureResult:
     """Flash-crowd scenario: a demand spike fills the mempools, then drains.
 
     Arrivals run at ``base_rate`` except for a burst window at
@@ -351,31 +524,11 @@ def flash_crowd(base_rate: float = 15.0, burst_rate: float = 250.0,
     the following rounds — visible in the occupancy samples of the result's
     :class:`repro.smr.metrics.WorkloadMetrics`.
     """
-    topology = four_global_datacenters(n)
-    params = ProtocolParams(n=n, f=f, p=p, rank_delay=GLOBAL_RANK_DELAY)
-    label = f"{protocol} (n={n}, flash crowd)"
-    workload = WorkloadSpec(
-        mode="open", arrival="flash-crowd", rate=base_rate,
-        burst_rate=burst_rate, burst_start=burst_start,
-        burst_duration=burst_duration, tx_size=tx_size,
-        max_block_bytes=max_block_bytes, sample_interval=0.5, seed=seed,
-    )
-    config = ExperimentConfig(
-        protocol=protocol, params=params, topology=topology,
-        duration=duration, warmup=0.0, seed=seed, label=label,
-        workload=workload,
-    )
-    result = run_experiment(config)
-    row = result.row()
-    row["offered_tx_per_s"] = base_rate
-    return FigureResult(
-        figure="workload-flash-crowd",
-        title=(f"flash crowd, {protocol} n={n}: {base_rate:g}→{burst_rate:g} tx/s "
-               f"during [{burst_start:g}s, {burst_start + burst_duration:g}s)"),
-        series={label: [row]},
-        results=[result],
-        columns=WORKLOAD_COLUMNS,
-    )
+    return run_figure(plan_flash_crowd(base_rate, burst_rate, burst_start,
+                                       burst_duration, protocol, n, f, p, tx_size,
+                                       max_block_bytes, duration, seed, seeds),
+                      jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                      progress=progress)
 
 
 # --------------------------------------------------------------------- #
@@ -383,41 +536,75 @@ def flash_crowd(base_rate: float = 15.0, burst_rate: float = 250.0,
 # --------------------------------------------------------------------- #
 
 
+def plan_ablation_p_sweep(p_values: Sequence[int] = (1, 2, 3, 4),
+                          payload_size: int = 400_000, duration: float = 20.0,
+                          warmup: float = 2.0, seed: int = 0,
+                          seeds: int = 1) -> ExperimentPlan:
+    """Plan sweeping the fast-path parameter ``p`` at n=19."""
+    specs: List[ExperimentSpec] = []
+    for p in p_values:
+        f = (19 + 1 - 2 * p) // 3
+        specs.append(ExperimentSpec(
+            protocol="banyan",
+            params=ProtocolParams(n=19, f=f, p=p, rank_delay=GLOBAL_RANK_DELAY,
+                                  payload_size=payload_size),
+            topology="global4", duration=duration, warmup=warmup, seed=seed,
+            label=f"banyan (f={f}, p={p})",
+            cell=f"p={p}", axis={"p": p, "f": f},
+        ))
+    plan = ExperimentPlan(name="ablation-p",
+                          title="fast-path parameter sweep at n=19", specs=specs)
+    return plan.with_replications(seeds)
+
+
 def ablation_p_sweep(p_values: Sequence[int] = (1, 2, 3, 4), payload_size: int = 400_000,
-                     duration: float = 20.0, warmup: float = 2.0, seed: int = 0) -> FigureResult:
+                     duration: float = 20.0, warmup: float = 2.0, seed: int = 0,
+                     seeds: int = 1, jobs: int = 1, cache_dir: Optional[str] = None,
+                     use_cache: bool = True,
+                     progress: Optional[ProgressCallback] = None) -> FigureResult:
     """Sweep the fast-path parameter ``p`` at n=19 (f adjusted to the bound).
 
     For each ``p`` we pick the largest ``f`` with ``3f + 2p - 1 <= 19`` so the
     comparison stays at 19 replicas, mirroring the paper's choice of n=19.
     """
-    topology = four_global_datacenters(19)
-    series: Dict[str, List[Dict[str, object]]] = {}
-    results: List[ExperimentResult] = []
-    for p in p_values:
-        f = (19 + 1 - 2 * p) // 3
-        label = f"banyan (f={f}, p={p})"
-        params = ProtocolParams(n=19, f=f, p=p, rank_delay=GLOBAL_RANK_DELAY,
-                                payload_size=payload_size)
-        config = ExperimentConfig(protocol="banyan", params=params, topology=topology,
-                                  duration=duration, warmup=warmup, seed=seed, label=label)
-        result = run_experiment(config)
-        results.append(result)
-        row = result.row()
-        row["p"] = p
-        row["f"] = f
-        series[label] = [row]
-    return FigureResult(
-        figure="ablation-p",
-        title="fast-path parameter sweep at n=19",
-        series=series,
-        results=results,
+    return run_figure(plan_ablation_p_sweep(p_values, payload_size, duration,
+                                            warmup, seed, seeds),
+                      jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                      progress=progress)
+
+
+def plan_ablation_stragglers(straggler_counts: Sequence[int] = (0, 1, 2),
+                             extra_delay: float = 1.0, payload_size: int = 100_000,
+                             duration: float = 20.0, warmup: float = 2.0,
+                             seed: int = 0, seeds: int = 1) -> ExperimentPlan:
+    """Plan planting straggler replicas (one cell per straggler count)."""
+    n, f, p = 7, 2, 1
+    params = ProtocolParams(n=n, f=f, p=p, rank_delay=GLOBAL_RANK_DELAY,
+                            payload_size=payload_size)
+    specs = [
+        ExperimentSpec(
+            protocol="banyan", params=params, topology="global4",
+            duration=duration, warmup=warmup, seed=seed, label="banyan (p=1)",
+            stragglers=stragglers, straggler_delay=extra_delay,
+            cell=f"stragglers={stragglers}", axis={"stragglers": stragglers},
+        )
+        for stragglers in straggler_counts
+    ]
+    plan = ExperimentPlan(
+        name="ablation-stragglers",
+        title=f"fast-path hit rate vs. stragglers (n={n}, extra delay {extra_delay}s)",
+        specs=specs,
     )
+    return plan.with_replications(seeds)
 
 
 def ablation_stragglers(straggler_counts: Sequence[int] = (0, 1, 2),
                         extra_delay: float = 1.0, payload_size: int = 100_000,
                         duration: float = 20.0, warmup: float = 2.0,
-                        seed: int = 0) -> FigureResult:
+                        seed: int = 0,
+                        seeds: int = 1, jobs: int = 1, cache_dir: Optional[str] = None,
+                        use_cache: bool = True,
+                        progress: Optional[ProgressCallback] = None) -> FigureResult:
     """Fast-path hit rate as a function of the number of straggler replicas.
 
     ``p = 1`` Banyan needs all but one replica to respond quickly; planting
@@ -428,38 +615,20 @@ def ablation_stragglers(straggler_counts: Sequence[int] = (0, 1, 2),
     quorums are still met by the prompt replicas, so SP-finalization
     overtakes the fast path.
     """
-    n, f, p = 7, 2, 1
-    topology = four_global_datacenters(n)
-    params = ProtocolParams(n=n, f=f, p=p, rank_delay=GLOBAL_RANK_DELAY,
-                            payload_size=payload_size)
-    series: Dict[str, List[Dict[str, object]]] = {"banyan (p=1)": []}
-    results: List[ExperimentResult] = []
-    for stragglers in straggler_counts:
-        payload_source = PayloadSource(payload_size)
-        replicas = create_replicas("banyan", params, payload_source=payload_source)
-        for replica_id in range(n - stragglers, n):
-            replicas[replica_id] = DelayedReplica(replicas[replica_id], extra_delay)
-        network = NetworkConfig(latency=GeoLatency(topology), seed=seed)
-        simulation = Simulation(replicas, network)
-        collector = MetricsCollector(protocol="banyan (p=1)", observer=0, warmup=warmup)
-        simulation.add_commit_listener(collector.on_commit)
-        simulation.run(until=duration)
-        proposal_times = {rid: dict(simulation.protocol(rid).proposal_times)
-                          for rid in simulation.replica_ids}
-        metrics = collector.finalize(duration - warmup, proposal_times)
-        config = ExperimentConfig(protocol="banyan", params=params, topology=topology,
-                                  duration=duration, warmup=warmup, seed=seed,
-                                  label="banyan (p=1)")
-        result = ExperimentResult(config=config, metrics=metrics,
-                                  messages_sent=simulation.messages_sent,
-                                  bytes_sent=simulation.bytes_sent)
-        results.append(result)
-        row = result.row()
-        row["stragglers"] = stragglers
-        series["banyan (p=1)"].append(row)
-    return FigureResult(
-        figure="ablation-stragglers",
-        title=f"fast-path hit rate vs. stragglers (n={n}, extra delay {extra_delay}s)",
-        series=series,
-        results=results,
-    )
+    return run_figure(plan_ablation_stragglers(straggler_counts, extra_delay,
+                                               payload_size, duration, warmup,
+                                               seed, seeds),
+                      jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                      progress=progress)
+
+
+#: Plan builders by figure name (used by the CLI's ``figure`` subcommand).
+PLAN_BUILDERS = {
+    "6a": plan_figure_6a,
+    "6b": plan_figure_6b,
+    "6c": plan_figure_6c,
+    "6d": plan_figure_6d,
+    "6e": plan_figure_6e,
+    "ablation-p": plan_ablation_p_sweep,
+    "ablation-stragglers": plan_ablation_stragglers,
+}

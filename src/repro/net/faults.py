@@ -165,3 +165,53 @@ class FaultPlan:
     def correct_replicas(self, replica_ids: Sequence[int], at_time: float = float("inf")) -> List[int]:
         """Return the replicas never crashed before ``at_time``."""
         return [r for r in replica_ids if not self.is_crashed(r, at_time)]
+
+    # ------------------------------------------------------------------ #
+    # Serialization (for experiment plans and result caches)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dictionary (inverse of :meth:`from_dict`).
+
+        Replica ids become string keys (JSON objects) and partition groups
+        become sorted lists, so equal plans serialize identically — the
+        experiment cache keys on this representation.
+        """
+        return {
+            "crash_times": {
+                str(replica_id): crash_time
+                for replica_id, crash_time in sorted(self.crash_schedule.crash_times.items())
+            },
+            "drop_probability": self.drop_probability,
+            "partitions": [
+                {
+                    "start": window.start,
+                    "end": window.end,
+                    "group_a": sorted(window.group_a),
+                    "group_b": sorted(window.group_b),
+                }
+                for window in self.partitions.windows
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        crash_times = {
+            int(replica_id): float(crash_time)
+            for replica_id, crash_time in data.get("crash_times", {}).items()
+        }
+        windows = tuple(
+            PartitionWindow(
+                start=float(window["start"]),
+                end=float(window["end"]),
+                group_a=frozenset(int(r) for r in window["group_a"]),
+                group_b=frozenset(int(r) for r in window["group_b"]),
+            )
+            for window in data.get("partitions", [])
+        )
+        return cls(
+            crash_schedule=CrashSchedule(crash_times=crash_times),
+            drop_probability=float(data.get("drop_probability", 0.0)),
+            partitions=PartitionPlan(windows=windows),
+        )

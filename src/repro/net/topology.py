@@ -160,3 +160,56 @@ def four_us_datacenters(n: int = 19) -> Topology:
 def worldwide_datacenters(n: int = 19) -> Topology:
     """Replicas spread over 19 worldwide datacenters (Section 9.5)."""
     return _spread(WORLDWIDE_REGIONS, n)
+
+
+#: Named topology factories, keyed by the names the CLI and experiment plans
+#: use.  Plans reference topologies by name (plus the replica count carried in
+#: the protocol parameters) so they stay serialisable and picklable.
+TOPOLOGY_FACTORIES = {
+    "global4": four_global_datacenters,
+    "us4": four_us_datacenters,
+    "worldwide": worldwide_datacenters,
+}
+
+
+def topology_by_name(name: str, n: int) -> Topology:
+    """Build the named topology sized to ``n`` replicas.
+
+    Raises:
+        KeyError: if ``name`` is not in :data:`TOPOLOGY_FACTORIES`.
+    """
+    try:
+        factory = TOPOLOGY_FACTORIES[name]
+    except KeyError:
+        available = ", ".join(sorted(TOPOLOGY_FACTORIES))
+        raise KeyError(f"unknown topology {name!r} (available: {available})") from None
+    return factory(n)
+
+
+def placement_names(topology: Topology) -> List[str]:
+    """The topology's placement as catalogue region names (one per replica).
+
+    This is the serialisable form of a topology, used by experiment specs
+    and result caches; :func:`topology_from_names` is its inverse.
+
+    Raises:
+        ValueError: if any datacenter is not *exactly* a catalogue entry of
+            :data:`AWS_REGIONS` — a name-only match with different
+            coordinates would silently rebuild a different network.
+    """
+    placement = [topology.datacenter(i) for i in topology.replica_ids]
+    for datacenter in placement:
+        if AWS_REGIONS.get(datacenter.name) != datacenter:
+            raise ValueError(
+                f"datacenter {datacenter.name!r} is not an AWS_REGIONS catalogue entry"
+            )
+    return [datacenter.name for datacenter in placement]
+
+
+def topology_from_names(names: Sequence[str]) -> Topology:
+    """Rebuild a topology from :func:`placement_names` output.
+
+    Raises:
+        KeyError: if a name is not in the :data:`AWS_REGIONS` catalogue.
+    """
+    return Topology([AWS_REGIONS[name] for name in names])

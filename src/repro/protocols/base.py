@@ -10,6 +10,7 @@ runtime, and trivially unit-testable with a fake context.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
@@ -121,6 +122,24 @@ class ProtocolParams:
     def notarization_delay(self, rank: int) -> float:
         """``Δ_notary(r) = 2Δ·r`` — the wait before voting for a rank-``r`` block."""
         return self.rank_delay * rank
+
+    # ------------------------------------------------------------------ #
+    # Serialization (for experiment plans and result caches)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dictionary (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ProtocolParams":
+        """Rebuild parameters from :meth:`to_dict` output.
+
+        Unknown keys are ignored so caches written by newer versions with
+        additional fields still load.
+        """
+        names = {field.name for field in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in names})
 
 
 class Protocol(ABC):

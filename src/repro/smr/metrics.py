@@ -26,8 +26,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
+from repro.analysis.stats import mean as _mean
+from repro.analysis.stats import percentile as _percentile
+from repro.analysis.stats import variance as _variance
 from repro.runtime.simulator import CommitRecord
 
 
@@ -47,25 +50,24 @@ class LatencySample:
     latency: float
     finalization_kind: str
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dictionary (inverse of :meth:`from_dict`)."""
+        return {
+            "proposer": self.proposer,
+            "round": self.round,
+            "latency": self.latency,
+            "finalization_kind": self.finalization_kind,
+        }
 
-def _mean(values: Sequence[float]) -> float:
-    return sum(values) / len(values) if values else 0.0
-
-
-def _variance(values: Sequence[float]) -> float:
-    if len(values) < 2:
-        return 0.0
-    mean = _mean(values)
-    return sum((v - mean) ** 2 for v in values) / (len(values) - 1)
-
-
-def _percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of ``values`` (q in [0, 100])."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[min(rank, len(ordered)) - 1]
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LatencySample":
+        """Rebuild a sample from :meth:`to_dict` output."""
+        return cls(
+            proposer=int(data["proposer"]),
+            round=int(data["round"]),
+            latency=float(data["latency"]),
+            finalization_kind=str(data["finalization_kind"]),
+        )
 
 
 @dataclass
@@ -169,6 +171,34 @@ class RunMetrics:
             "committed_blocks": float(self.committed_blocks),
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """A lossless JSON-ready dictionary (inverse of :meth:`from_dict`)."""
+        return {
+            "protocol": self.protocol,
+            "duration": self.duration,
+            "latency_samples": [sample.to_dict() for sample in self.latency_samples],
+            "committed_bytes": self.committed_bytes,
+            "committed_blocks": self.committed_blocks,
+            "block_intervals": list(self.block_intervals),
+            "fast_finalized": self.fast_finalized,
+            "slow_finalized": self.slow_finalized,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunMetrics":
+        """Rebuild the metrics from :meth:`to_dict` output."""
+        return cls(
+            protocol=str(data["protocol"]),
+            duration=float(data["duration"]),
+            latency_samples=[LatencySample.from_dict(sample)
+                             for sample in data.get("latency_samples", [])],
+            committed_bytes=int(data["committed_bytes"]),
+            committed_blocks=int(data["committed_blocks"]),
+            block_intervals=[float(v) for v in data.get("block_intervals", [])],
+            fast_finalized=int(data["fast_finalized"]),
+            slow_finalized=int(data["slow_finalized"]),
+        )
+
 
 @dataclass(frozen=True)
 class OccupancySample:
@@ -185,6 +215,27 @@ class OccupancySample:
     transactions: int
     total_bytes: int
     per_replica: Dict[int, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dictionary (inverse of :meth:`from_dict`)."""
+        return {
+            "time": self.time,
+            "transactions": self.transactions,
+            "total_bytes": self.total_bytes,
+            # JSON object keys are strings; from_dict restores the int ids.
+            "per_replica": {str(rid): count for rid, count in self.per_replica.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "OccupancySample":
+        """Rebuild a sample from :meth:`to_dict` output."""
+        return cls(
+            time=float(data["time"]),
+            transactions=int(data["transactions"]),
+            total_bytes=int(data["total_bytes"]),
+            per_replica={int(rid): int(count)
+                         for rid, count in data.get("per_replica", {}).items()},
+        )
 
 
 @dataclass
@@ -279,6 +330,32 @@ class WorkloadMetrics:
             "peak_mempool_depth": float(self.peak_mempool_depth),
             "final_mempool_depth": float(self.final_mempool_depth),
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """A lossless JSON-ready dictionary (inverse of :meth:`from_dict`)."""
+        return {
+            "duration": self.duration,
+            "submitted": self.submitted,
+            "committed": self.committed,
+            "dropped": self.dropped,
+            "committed_tx_bytes": self.committed_tx_bytes,
+            "latencies": list(self.latencies),
+            "occupancy": [sample.to_dict() for sample in self.occupancy],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "WorkloadMetrics":
+        """Rebuild the metrics from :meth:`to_dict` output."""
+        return cls(
+            duration=float(data["duration"]),
+            submitted=int(data["submitted"]),
+            committed=int(data["committed"]),
+            dropped=int(data["dropped"]),
+            committed_tx_bytes=int(data["committed_tx_bytes"]),
+            latencies=[float(v) for v in data.get("latencies", [])],
+            occupancy=[OccupancySample.from_dict(sample)
+                       for sample in data.get("occupancy", [])],
+        )
 
 
 class MetricsCollector:

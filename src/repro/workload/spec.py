@@ -11,8 +11,9 @@ protocol and runtime layers unaware of how traffic is generated.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.workload.arrivals import (
     ArrivalProcess,
@@ -91,6 +92,16 @@ class WorkloadSpec:
                 "max_block_bytes must be at least "
                 f"max(tx_size, {MAX_HEADER_BYTES}) to fit every transaction"
             )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dictionary (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "WorkloadSpec":
+        """Rebuild a spec from :meth:`to_dict` output (unknown keys ignored)."""
+        names = {field.name for field in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in names})
 
     def build_arrivals(self) -> Optional[ArrivalProcess]:
         """Build the arrival process (``None`` for the closed-loop model)."""

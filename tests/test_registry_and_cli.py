@@ -103,3 +103,39 @@ class TestCLI:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure", "9z"])
+
+    def test_figure_command_parallel_replicated_cached(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["figure", "6b", "--duration", "5", "--jobs", "2", "--seeds", "2",
+                "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "mean_latency_ms_ci95" in first.out
+        assert "(cached)" not in first.err
+
+        # Same invocation again: every cell is served from the cache.
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert second.err.count("(cached)") == second.err.count("[")
+
+        # Serial execution renders the identical report (modulo progress).
+        assert main(["figure", "6b", "--duration", "5", "--jobs", "1",
+                     "--seeds", "2", "--no-cache"]) == 0
+        assert capsys.readouterr().out == first.out
+
+    def test_run_command_with_seeds(self, capsys):
+        assert main([
+            "run", "--protocol", "banyan", "--n", "4", "--f", "1", "--p", "1",
+            "--payload", "10000", "--duration", "5", "--seeds", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean_latency_ms_ci95" in out
+
+    def test_workload_command_accepts_runner_flags(self, capsys):
+        assert main([
+            "workload", "saturation", "--rates", "20", "--duration", "5",
+            "--jobs", "2", "--seeds", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "goodput_tx_per_s_ci95" in out
