@@ -1,0 +1,103 @@
+"""Event-loop throughput benchmark: raw events/sec of the simulator core.
+
+A deliberately protocol-free workload stresses the event queue: every replica
+broadcasts a fixed-size message on a periodic timer, so the loop processes a
+steady broadcast-heavy mix of ``n**2 / tick`` message deliveries plus
+``n / tick`` timer firings per simulated second, with no protocol logic in
+the way.  The numbers isolate the cost of the queue itself (push, pop,
+ordering, dispatch) — the part the tuple-event refactor targets.
+
+Each run emits one ``BENCH_bench_simulator.json`` record with events/sec per
+replica count, so the loop's performance trajectory is tracked across
+commits alongside the figure benches.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from types import SimpleNamespace
+
+from benchmarks.conftest import emit_bench_record, paper_comparison
+
+from repro.net.faults import FaultPlan
+from repro.net.latency import ConstantLatency
+from repro.protocols.base import Protocol, ProtocolParams
+from repro.runtime.simulator import NetworkConfig, Simulation
+
+#: Replica counts of the broadcast-heavy runs (the 64-replica case is the
+#: acceptance case for the tuple-queue refactor's speedup).
+REPLICA_COUNTS = (4, 16, 64)
+
+#: Broadcast period per replica, in simulated seconds.
+TICK = 0.05
+
+#: Simulated horizon per run; chosen so the n=64 case processes ~1M events.
+DURATION = {4: 60.0, 16: 15.0, 64: 4.0}
+
+
+@dataclass(frozen=True)
+class _Blast:
+    """Fixed-size benchmark message."""
+
+    wire_size: int = 1024
+
+
+class FloodProtocol(Protocol):
+    """Every replica broadcasts on a periodic timer; receipts are counted."""
+
+    name = "flood"
+
+    def __init__(self, replica_id: int, params: ProtocolParams) -> None:
+        super().__init__(replica_id, params)
+        self.timer_fires = 0
+
+    def on_start(self, ctx) -> None:
+        ctx.set_timer(TICK, "tick")
+
+    def on_message(self, ctx, sender, message) -> None:
+        pass
+
+    def on_timer(self, ctx, timer) -> None:
+        self.timer_fires += 1
+        ctx.broadcast(_Blast())
+        ctx.set_timer(TICK, "tick")
+
+
+def _run_flood(n: int) -> dict:
+    """Run one broadcast-heavy simulation; return its throughput row."""
+    params = ProtocolParams(n=n, f=0, p=0)
+    protocols = {i: FloodProtocol(i, params) for i in range(n)}
+    network = NetworkConfig(latency=ConstantLatency(0.02), faults=FaultPlan.none(),
+                            seed=0)
+    simulation = Simulation(protocols, network)
+    duration = DURATION[n]
+    start = time.perf_counter()
+    simulation.run(until=duration)
+    wall = time.perf_counter() - start
+    events = simulation.messages_delivered + sum(
+        protocol.timer_fires for protocol in protocols.values()
+    )
+    return {
+        "n": n,
+        "sim_seconds": duration,
+        "events": events,
+        "wall_s": round(wall, 4),
+        "events_per_s": round(events / wall, 1),
+    }
+
+
+def test_event_loop_throughput(benchmark) -> None:
+    """Events/sec of the simulator loop on broadcast-heavy runs (n=4/16/64)."""
+    rows = benchmark.pedantic(
+        lambda: [_run_flood(n) for n in REPLICA_COUNTS],
+        rounds=1, iterations=1,
+    )
+    total_wall = sum(row["wall_s"] for row in rows)
+    emit_bench_record(
+        "bench_simulator", total_wall,
+        SimpleNamespace(figure="bench-simulator", replications=1,
+                        series={"event_loop": rows}),
+    )
+    paper_comparison(rows)
+    assert all(row["events"] > 0 for row in rows)

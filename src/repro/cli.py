@@ -6,6 +6,8 @@ Usage::
     banyan-repro figure 6a [--duration 20]
     banyan-repro figure 6d --jobs 4 --seeds 5 --cache-dir .banyan-cache
     banyan-repro run --protocol banyan --n 19 --f 6 --p 1 --payload 400000
+    banyan-repro run --n 19 --f 6 --transport contended --uplink-mbps 50
+    banyan-repro figure uplink --seeds 3 --jobs 4
     banyan-repro workload saturation --rates 10,30,60,120 --jobs 4
     banyan-repro workload flash-crowd --burst-rate 250
     banyan-repro list
@@ -31,6 +33,7 @@ from repro.eval.plan import ExperimentPlan, ExperimentSpec
 from repro.eval.runner import ProgressEvent
 from repro.eval.table1 import table1_rows
 from repro.net.topology import TOPOLOGY_FACTORIES
+from repro.net.transport import available_transports
 from repro.protocols.base import ProtocolParams
 from repro.protocols.registry import available_protocols
 
@@ -42,6 +45,7 @@ _FIGURES = {
     "6e": scenarios.figure_6e,
     "ablation-p": scenarios.ablation_p_sweep,
     "ablation-stragglers": scenarios.ablation_stragglers,
+    "uplink": scenarios.figure_uplink_contention,
 }
 
 _WORKLOADS = {
@@ -105,6 +109,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--duration", type=float, default=20.0)
     run_parser.add_argument("--topology", choices=sorted(TOPOLOGY_FACTORIES), default="global4")
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--transport", choices=available_transports(),
+                            default="direct",
+                            help="dissemination strategy (default: direct)")
+    run_parser.add_argument("--uplink-mbps", type=float, default=None,
+                            help="per-replica NIC capacity in Mbit/s for the "
+                                 "contended transport (default: 1000)")
+    run_parser.add_argument("--relays", type=int, default=None,
+                            help="relay fan-out for the relay transport (default: 2)")
     _add_runner_arguments(run_parser)
 
     workload_parser = subparsers.add_parser(
@@ -181,9 +193,19 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     params = ProtocolParams(n=args.n, f=args.f, p=args.p, payload_size=args.payload,
                             rank_delay=scenarios.GLOBAL_RANK_DELAY)
+    if args.uplink_mbps is not None and args.transport != "contended":
+        print("banyan-repro run: error: --uplink-mbps applies only to "
+              "--transport contended", file=sys.stderr)
+        return 2
+    if args.relays is not None and args.transport != "relay":
+        print("banyan-repro run: error: --relays applies only to "
+              "--transport relay", file=sys.stderr)
+        return 2
     spec = ExperimentSpec(protocol=args.protocol, params=params,
                           topology=args.topology, duration=args.duration,
-                          seed=args.seed)
+                          seed=args.seed, transport=args.transport,
+                          uplink_mbps=args.uplink_mbps,
+                          relays=args.relays if args.relays is not None else 2)
     plan = ExperimentPlan(name="run", title="custom experiment",
                           specs=[spec]).with_replications(args.seeds)
     runner = _runner_kwargs(args)

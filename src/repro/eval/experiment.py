@@ -16,6 +16,7 @@ from typing import Dict, Optional
 from repro.byzantine.behaviors import DelayedReplica
 from repro.net.bandwidth import BandwidthModel
 from repro.net.faults import FaultPlan
+from repro.net.transport import ContendedUplinkTransport
 from repro.net.latency import GeoLatency, LatencyModel
 from repro.net.topology import (
     Topology,
@@ -30,6 +31,10 @@ from repro.smr.metrics import MetricsCollector, RunMetrics, WorkloadMetrics
 from repro.smr.mempool import PayloadSource
 from repro.workload.payloads import MempoolPayloadSource
 from repro.workload.spec import WorkloadSpec
+
+#: The contended transport's default uplink, in Mbit/s (1 Mbit/s = 125 000
+#: bytes/s); an ``uplink_mbps`` equal to it is omitted from serialisation.
+_DEFAULT_UPLINK_MBPS = ContendedUplinkTransport.DEFAULT_UPLINK_BYTES_PER_S / 125_000.0
 
 
 @dataclass
@@ -62,6 +67,13 @@ class ExperimentConfig:
             ones) whose outbound messages are delayed by
             ``straggler_delay`` seconds — the straggler ablation's knob.
         straggler_delay: extra outbound delay per straggler, in seconds.
+        transport: dissemination strategy, a name registered in
+            :data:`repro.net.transport.TRANSPORTS` (``"direct"``,
+            ``"contended"``, ``"relay"``).
+        uplink_mbps: per-replica NIC capacity in megabits per second, used
+            by the ``"contended"`` transport (``None`` selects its
+            1 Gbit/s default).
+        relays: relay fan-out of the ``"relay"`` transport.
     """
 
     protocol: str
@@ -77,6 +89,9 @@ class ExperimentConfig:
     workload: Optional[WorkloadSpec] = None
     stragglers: int = 0
     straggler_delay: float = 1.0
+    transport: str = "direct"
+    uplink_mbps: Optional[float] = None
+    relays: int = 2
 
     def resolved_topology(self) -> Topology:
         """The topology to use (default: 4 global datacenters)."""
@@ -93,6 +108,11 @@ class ExperimentConfig:
         :class:`repro.net.topology.Topology` over catalogued AWS regions
         round-trips.  A ``latency`` model override is not serialisable.
 
+        The transport fields are emitted only when they differ from the
+        defaults: a default (direct-transport) config serialises exactly as
+        it did before the transport layer existed, so content hashes and
+        cached results of unchanged configs stay valid.
+
         Raises:
             ValueError: if a ``latency`` override is set, or the topology
                 uses datacenters that are not (exactly) catalogue entries —
@@ -100,7 +120,7 @@ class ExperimentConfig:
         """
         if self.latency is not None:
             raise ValueError("configs with a latency-model override are not serialisable")
-        return {
+        data = {
             "protocol": self.protocol,
             "params": self.params.to_dict(),
             "topology": (
@@ -117,6 +137,8 @@ class ExperimentConfig:
             "stragglers": self.stragglers,
             "straggler_delay": self.straggler_delay,
         }
+        data.update(_transport_fields(self.transport, self.uplink_mbps, self.relays))
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ExperimentConfig":
@@ -139,7 +161,35 @@ class ExperimentConfig:
             workload=WorkloadSpec.from_dict(workload) if workload is not None else None,
             stragglers=int(data.get("stragglers", 0)),
             straggler_delay=float(data.get("straggler_delay", 1.0)),
+            transport=str(data.get("transport", "direct")),
+            uplink_mbps=(
+                float(data["uplink_mbps"])
+                if data.get("uplink_mbps") is not None else None
+            ),
+            relays=int(data.get("relays", 2)),
         )
+
+
+def _transport_fields(transport: str, uplink_mbps: Optional[float],
+                      relays: int) -> Dict[str, object]:
+    """The non-default transport fields of a config/spec dictionary.
+
+    Default values are omitted so that serialised forms (and the content
+    hashes derived from them) of pre-transport configs are unchanged; a
+    knob the selected transport never reads (``uplink_mbps`` off the
+    contended transport, ``relays`` off the relay transport) is omitted
+    too, as is an explicitly-passed default value, so semantically
+    identical experiments hash — and cache — alike.
+    """
+    fields: Dict[str, object] = {}
+    if transport != "direct":
+        fields["transport"] = transport
+    if (transport == "contended" and uplink_mbps is not None
+            and uplink_mbps != _DEFAULT_UPLINK_MBPS):
+        fields["uplink_mbps"] = uplink_mbps
+    if transport == "relay" and relays != 2:
+        fields["relays"] = relays
+    return fields
 
 
 @dataclass
@@ -239,7 +289,14 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     latency = config.latency or GeoLatency(topology)
     bandwidth = BandwidthModel(topology=topology)
     network = NetworkConfig(
-        latency=latency, bandwidth=bandwidth, faults=config.faults, seed=config.seed
+        latency=latency, bandwidth=bandwidth, faults=config.faults, seed=config.seed,
+        transport=config.transport,
+        # 1 Mbit/s = 125 000 bytes/s.
+        uplink_bytes_per_s=(
+            config.uplink_mbps * 125_000.0
+            if config.uplink_mbps is not None else None
+        ),
+        relays=config.relays,
     )
     pool = None
     if config.workload is not None:

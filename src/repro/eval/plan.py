@@ -27,7 +27,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.eval.experiment import ExperimentConfig
+from repro.eval.experiment import ExperimentConfig, _transport_fields
 from repro.net.faults import FaultPlan
 from repro.net.topology import (
     Topology,
@@ -87,6 +87,10 @@ class ExperimentSpec:
         label: report label (defaults to the protocol name).
         stragglers: honest straggler replicas with delayed outbound messages.
         straggler_delay: extra outbound delay per straggler, in seconds.
+        transport: dissemination strategy name (``"direct"``,
+            ``"contended"``, ``"relay"``).
+        uplink_mbps: NIC capacity in Mbit/s for the contended transport.
+        relays: relay fan-out for the relay transport.
         series: figure series this cell belongs to (defaults to ``label``).
         cell: identifier of the cell within its series (e.g.
             ``"payload=400000"``); replications of one cell share it.
@@ -106,6 +110,9 @@ class ExperimentSpec:
     label: Optional[str] = None
     stragglers: int = 0
     straggler_delay: float = 1.0
+    transport: str = "direct"
+    uplink_mbps: Optional[float] = None
+    relays: int = 2
     series: Optional[str] = None
     cell: str = ""
     replication: int = 0
@@ -141,6 +148,9 @@ class ExperimentSpec:
             workload=self.workload,
             stragglers=self.stragglers,
             straggler_delay=self.straggler_delay,
+            transport=self.transport,
+            uplink_mbps=self.uplink_mbps,
+            relays=self.relays,
         )
 
     @classmethod
@@ -175,6 +185,9 @@ class ExperimentSpec:
             label=config.label,
             stragglers=config.stragglers,
             straggler_delay=config.straggler_delay,
+            transport=config.transport,
+            uplink_mbps=config.uplink_mbps,
+            relays=config.relays,
             **meta,
         )
 
@@ -183,8 +196,14 @@ class ExperimentSpec:
     # ------------------------------------------------------------------ #
 
     def to_dict(self) -> Dict[str, object]:
-        """A JSON-ready dictionary (inverse of :meth:`from_dict`)."""
-        return {
+        """A JSON-ready dictionary (inverse of :meth:`from_dict`).
+
+        Transport fields are emitted only when non-default, so specs that
+        do not opt into a transport serialise — and therefore content-hash —
+        exactly as they did before the transport layer existed, keeping
+        existing result caches valid.
+        """
+        data = {
             "protocol": self.protocol,
             "params": self.params.to_dict(),
             "topology": (
@@ -204,6 +223,8 @@ class ExperimentSpec:
             "replication": self.replication,
             "axis": dict(self.axis),
         }
+        data.update(_transport_fields(self.transport, self.uplink_mbps, self.relays))
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ExperimentSpec":
@@ -222,6 +243,12 @@ class ExperimentSpec:
             label=data.get("label"),
             stragglers=int(data.get("stragglers", 0)),
             straggler_delay=float(data.get("straggler_delay", 1.0)),
+            transport=str(data.get("transport", "direct")),
+            uplink_mbps=(
+                float(data["uplink_mbps"])
+                if data.get("uplink_mbps") is not None else None
+            ),
+            relays=int(data.get("relays", 2)),
             series=data.get("series"),
             cell=str(data.get("cell", "")),
             replication=int(data.get("replication", 0)),

@@ -532,6 +532,81 @@ def flash_crowd(base_rate: float = 15.0, burst_rate: float = 250.0,
 
 
 # --------------------------------------------------------------------- #
+# Transport scenarios (beyond the paper: dissemination strategies)
+# --------------------------------------------------------------------- #
+
+#: Columns reported by the uplink-contention figure: scale on the left,
+#: fast-path and latency behaviour on the right.
+UPLINK_COLUMNS = [
+    "n", "mean_latency_ms", "p95_latency_ms", "block_interval_ms",
+    "fast_path_ratio", "committed_blocks",
+]
+
+
+def plan_uplink_contention(replica_counts: Sequence[int] = (4, 7, 10, 13, 16, 19),
+                           payload_size: int = 200_000, uplink_mbps: float = 50.0,
+                           duration: float = 20.0, warmup: float = 2.0,
+                           seed: int = 0, seeds: int = 1) -> ExperimentPlan:
+    """Plan comparing ideal vs. contended broadcast as n grows (Banyan, p=1).
+
+    One cell per replica count, two series: the default
+    :class:`~repro.net.transport.DirectTransport` (every broadcast copy
+    departs at the send instant) and the
+    :class:`~repro.net.transport.ContendedUplinkTransport` with an
+    ``uplink_mbps`` NIC (a proposer's n−1 proposal copies drain
+    sequentially).  The gap between the series is the leader fan-out cost
+    the ideal model hides; it grows with n.
+    """
+    specs: List[ExperimentSpec] = []
+    for n in replica_counts:
+        # Largest f with 3f + 2p - 1 <= n at p=1, as in the p-sweep ablation.
+        f = max(1, (n - 1) // 3)
+        params = ProtocolParams(n=n, f=f, p=1, rank_delay=GLOBAL_RANK_DELAY,
+                                payload_size=payload_size)
+        for label, transport, mbps in (
+            ("banyan (ideal uplink)", "direct", None),
+            ("banyan (contended uplink)", "contended", uplink_mbps),
+        ):
+            specs.append(ExperimentSpec(
+                protocol="banyan", params=params, topology="global4",
+                duration=duration, warmup=warmup, seed=seed, label=label,
+                transport=transport, uplink_mbps=mbps,
+                cell=f"n={n}", axis={"n": n},
+            ))
+    plan = ExperimentPlan(
+        name="uplink",
+        title=(f"leader fan-out under sender-uplink contention "
+               f"({uplink_mbps:g} Mbit/s NIC, {payload_size} B proposals)"),
+        specs=specs,
+        columns=list(UPLINK_COLUMNS),
+    )
+    return plan.with_replications(seeds)
+
+
+def figure_uplink_contention(replica_counts: Sequence[int] = (4, 7, 10, 13, 16, 19),
+                             payload_size: int = 200_000, uplink_mbps: float = 50.0,
+                             duration: float = 20.0, warmup: float = 2.0,
+                             seed: int = 0, seeds: int = 1, jobs: int = 1,
+                             cache_dir: Optional[str] = None, use_cache: bool = True,
+                             progress: Optional[ProgressCallback] = None) -> FigureResult:
+    """Fast-path latency vs. n under contended vs. ideal broadcast.
+
+    Under the ideal transport a proposer's n−1 proposal copies are free to
+    depart simultaneously, so latency is flat in n (quorum geometry aside).
+    With a finite uplink the copies serialize: the last receiver waits
+    ``(n−2) · size / uplink`` before its copy even leaves the sender, votes
+    arrive staggered, and the fast-path advantage shrinks as n grows — the
+    leader-bottleneck effect that separates rotating-leader fast paths from
+    single-leader protocols.
+    """
+    return run_figure(plan_uplink_contention(replica_counts, payload_size,
+                                             uplink_mbps, duration, warmup,
+                                             seed, seeds),
+                      jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                      progress=progress)
+
+
+# --------------------------------------------------------------------- #
 # Ablations (design-choice benches beyond the paper's figures)
 # --------------------------------------------------------------------- #
 
@@ -631,4 +706,5 @@ PLAN_BUILDERS = {
     "6e": plan_figure_6e,
     "ablation-p": plan_ablation_p_sweep,
     "ablation-stragglers": plan_ablation_stragglers,
+    "uplink": plan_uplink_contention,
 }

@@ -1,4 +1,4 @@
-"""Network substrate: latency models, topologies, bandwidth, fault injection.
+"""Network substrate: latency, topologies, bandwidth, faults — and transport.
 
 The paper's evaluation runs on AWS WAN deployments; this package replaces the
 testbed with a parametric network model (see DESIGN.md, substitutions):
@@ -10,6 +10,19 @@ testbed with a parametric network model (see DESIGN.md, substitutions):
   experiments.
 * :mod:`repro.net.bandwidth` — size-dependent transfer time.
 * :mod:`repro.net.faults` — crash faults, message drops, and partitions.
+* :mod:`repro.net.transport` — the dissemination layer composing the three
+  models above into per-receiver deliveries.  Strategies:
+  :class:`~repro.net.transport.DirectTransport` (ideal n-way unicast, the
+  default), :class:`~repro.net.transport.ContendedUplinkTransport`
+  (sender-side NIC queue: broadcasts drain sequentially, so leader fan-out
+  cost scales with n), and :class:`~repro.net.transport.RelayTransport`
+  (k-relay dissemination trees).
+
+The split matters: latency/bandwidth/fault models describe *links*, while a
+transport describes *how a send uses them* — one message per receiver, in
+what order, through which intermediaries.  Protocols never see any of this;
+they call ``ctx.send`` / ``ctx.broadcast`` and the configured transport
+decides when each copy arrives.
 """
 
 from repro.net.bandwidth import BandwidthModel
@@ -29,20 +42,38 @@ from repro.net.topology import (
     four_us_datacenters,
     worldwide_datacenters,
 )
+from repro.net.transport import (
+    TRANSPORTS,
+    ContendedUplinkTransport,
+    Delivery,
+    DirectTransport,
+    RelayTransport,
+    Transport,
+    available_transports,
+    build_transport,
+)
 
 __all__ = [
     "AWS_REGIONS",
     "BandwidthModel",
     "ConstantLatency",
+    "ContendedUplinkTransport",
     "CrashSchedule",
     "Datacenter",
+    "Delivery",
+    "DirectTransport",
     "FaultPlan",
     "GeoLatency",
     "LatencyModel",
     "MatrixLatency",
     "PartitionPlan",
+    "RelayTransport",
+    "TRANSPORTS",
     "Topology",
+    "Transport",
     "UniformLatency",
+    "available_transports",
+    "build_transport",
     "four_global_datacenters",
     "four_us_datacenters",
     "worldwide_datacenters",

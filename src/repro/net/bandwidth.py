@@ -41,6 +41,11 @@ class BandwidthModel:
         self._overhead = per_message_overhead_s
         self._topology = topology
 
+    @property
+    def per_message_overhead_s(self) -> float:
+        """The fixed per-message overhead (reused by transport strategies)."""
+        return self._overhead
+
     def transfer_time(self, sender: int, receiver: int, size_bytes: int) -> float:
         """Return the transfer time in seconds for ``size_bytes``."""
         if size_bytes < 0:

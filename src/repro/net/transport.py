@@ -1,0 +1,533 @@
+"""The transport layer: how bytes move from a sender to its receivers.
+
+Every message a replica sends passes through exactly one :class:`Transport`,
+which composes the three network sub-models (propagation delay from
+:mod:`repro.net.latency`, serialization time from
+:mod:`repro.net.bandwidth`, loss/hold from :mod:`repro.net.faults`) into a
+:class:`Delivery` per receiver: *when* the message arrives and *where the
+time went* (partition hold, uplink queueing, wire transfer, propagation).
+The simulator owns the event queue and the counters; the transport owns all
+message timing — swapping dissemination strategies never touches the
+protocols or the event loop.
+
+Three strategies are provided:
+
+* :class:`DirectTransport` — the classic model: every copy of a broadcast
+  departs at the send instant, paying ``transfer + propagation``
+  independently.  This is the default and reproduces the pre-transport
+  simulator executions bit-for-bit.
+* :class:`ContendedUplinkTransport` — a per-replica NIC with finite uplink
+  capacity: a sender's outgoing copies serialize *sequentially*, so an
+  n-way broadcast's last copy waits for the first n−1 to drain.  This is
+  the effect that turns a single leader into a bandwidth bottleneck and
+  makes leader fan-out cost scale with n.
+* :class:`RelayTransport` — dissemination trees: a broadcast goes to ``k``
+  relay replicas which re-forward to the rest, trading one hop of extra
+  latency for O(k) sender fan-out.
+
+Transports are selected by name through
+:class:`repro.runtime.simulator.NetworkConfig` (``transport="contended"``)
+and built by :func:`build_transport`; custom strategies subclass
+:class:`Transport` and can be passed as instances.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence
+
+from repro.net.bandwidth import BandwidthModel
+from repro.net.faults import FaultPlan
+from repro.net.latency import LatencyModel
+from repro.types.messages import Message
+
+
+class Delivery:
+    """One scheduled message arrival, with its delay decomposition.
+
+    Attributes:
+        receiver: the replica the copy arrives at.
+        deliver_at: absolute simulation time of the arrival.
+        hold_delay: time the copy was held back by a partition window.
+        queue_delay: time the copy spent waiting before its final hop began
+            — sender-uplink queueing under
+            :class:`ContendedUplinkTransport`, the whole upstream
+            (sender→relay) leg for forwarded copies under
+            :class:`RelayTransport`, and always 0 under
+            :class:`DirectTransport`.
+        transfer_delay: serialization time onto the wire (the final hop's,
+            for relayed copies).
+        propagation_delay: one-way propagation time (the final hop's, for
+            relayed copies).
+        via: id of the relay that forwarded the copy, or ``None`` for a
+            direct copy.
+
+    Invariant (relied on by the network trace): ``deliver_at ==`` the send
+    time ``+ hold_delay + queue_delay + transfer_delay +
+    propagation_delay``.
+    """
+
+    __slots__ = ("receiver", "deliver_at", "hold_delay", "queue_delay",
+                 "transfer_delay", "propagation_delay", "via")
+
+    def __init__(self, receiver: int, deliver_at: float, hold_delay: float = 0.0,
+                 queue_delay: float = 0.0, transfer_delay: float = 0.0,
+                 propagation_delay: float = 0.0, via: Optional[int] = None) -> None:
+        self.receiver = receiver
+        self.deliver_at = deliver_at
+        self.hold_delay = hold_delay
+        self.queue_delay = queue_delay
+        self.transfer_delay = transfer_delay
+        self.propagation_delay = propagation_delay
+        self.via = via
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Delivery(receiver={self.receiver}, deliver_at={self.deliver_at:.6f}, "
+                f"queue={self.queue_delay:.6f}, via={self.via})")
+
+
+class Transport(ABC):
+    """Strategy interface owning the full send pipeline.
+
+    A transport is consulted once per logical send: :meth:`unicast` for a
+    point-to-point message, :meth:`broadcast` for an all-replica message.
+    Both return where and when copies arrive; a dropped copy is simply
+    absent (``None`` / missing from the list).  The caller (the simulator)
+    does the accounting and event scheduling.
+
+    Implementations must draw from ``rng`` in a deterministic per-receiver
+    order so that a fixed seed reproduces the execution.
+    """
+
+    def __init__(self, latency: LatencyModel, bandwidth: BandwidthModel,
+                 faults: FaultPlan) -> None:
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.faults = faults
+        # Hoisted once: a fault plan with no crashes, drops, or partitions
+        # lets the per-message hot path skip three calls per copy.
+        self._trivial_faults = (
+            not faults.crash_schedule.crash_times
+            and faults.drop_probability == 0.0
+            and not faults.partitions.windows
+        )
+
+    @abstractmethod
+    def unicast(self, sender: int, receiver: int, message: Message, now: float,
+                rng: random.Random) -> Optional[Delivery]:
+        """Schedule one ``sender → receiver`` copy; ``None`` if dropped."""
+
+    def broadcast(self, sender: int, receivers: Sequence[int], message: Message,
+                  now: float, rng: random.Random) -> List[Delivery]:
+        """Schedule one copy per receiver (the sender included); drops omitted."""
+        deliveries = []
+        for receiver in receivers:
+            delivery = self.unicast(sender, receiver, message, now, rng)
+            if delivery is not None:
+                deliveries.append(delivery)
+        return deliveries
+
+    def reset(self) -> None:
+        """Clear inter-simulation state (NIC queues, counters)."""
+
+    def stats(self) -> Dict[str, object]:
+        """Transport-specific counters (wire bytes, queueing), for reports."""
+        return {}
+
+
+class DirectTransport(Transport):
+    """Ideal point-to-point dissemination (the pre-transport semantics).
+
+    Every copy departs at the send instant and arrives after
+    ``transfer_time + propagation_delay``; a broadcast is n independent
+    unicasts.  Given the same seed, models, and fault plan, executions are
+    identical to the original in-simulator pipeline — the rng is consumed
+    in the same per-receiver order and the arrival times are computed with
+    the same arithmetic.
+    """
+
+    name = "direct"
+
+    def unicast(self, sender: int, receiver: int, message: Message, now: float,
+                rng: random.Random) -> Optional[Delivery]:
+        """Independent copy: ``now (+ hold) + transfer + propagation``."""
+        size = getattr(message, "wire_size", 0)
+        send_time = now
+        hold = 0.0
+        if not self._trivial_faults:
+            faults = self.faults
+            if faults.should_drop(sender, receiver, now, rng):
+                return None
+            release = faults.partition_release(sender, receiver, now)
+            if release is not None:
+                # Partition = period of asynchrony: the message is held back
+                # and starts travelling once the partition heals.
+                send_time = release
+                hold = release - now
+        transfer = self.bandwidth.transfer_time(sender, receiver, size)
+        propagation = self.latency.delay(sender, receiver, rng)
+        return Delivery(receiver, send_time + transfer + propagation,
+                        hold, 0.0, transfer, propagation)
+
+    def broadcast(self, sender: int, receivers: Sequence[int], message: Message,
+                  now: float, rng: random.Random) -> List[Delivery]:
+        """n independent unicasts, with per-message lookups hoisted."""
+        size = getattr(message, "wire_size", 0)
+        transfer_time = self.bandwidth.transfer_time
+        delay = self.latency.delay
+        deliveries = []
+        append = deliveries.append
+        if self._trivial_faults:
+            for receiver in receivers:
+                transfer = transfer_time(sender, receiver, size)
+                propagation = delay(sender, receiver, rng)
+                append(Delivery(receiver, now + transfer + propagation,
+                                0.0, 0.0, transfer, propagation))
+            return deliveries
+        faults = self.faults
+        for receiver in receivers:
+            if faults.should_drop(sender, receiver, now, rng):
+                continue
+            send_time = now
+            hold = 0.0
+            release = faults.partition_release(sender, receiver, now)
+            if release is not None:
+                send_time = release
+                hold = release - now
+            transfer = transfer_time(sender, receiver, size)
+            propagation = delay(sender, receiver, rng)
+            append(Delivery(receiver, send_time + transfer + propagation,
+                            hold, 0.0, transfer, propagation))
+        return deliveries
+
+
+class ContendedUplinkTransport(Transport):
+    """Sender-uplink contention: outgoing bytes serialize on one NIC queue.
+
+    Each replica has a single uplink of ``uplink_bytes_per_s``; a copy can
+    start serializing only once the sender's previously queued bytes have
+    drained (FIFO).  A broadcast therefore drains sequentially: copy ``i``
+    of an n-way broadcast waits for the first ``i−1`` copies, so a leader's
+    proposal fan-out costs ``(n−1) · size / uplink`` of sender time rather
+    than being free — the effect that separates rotating-leader fast paths
+    from single-leader bottleneck protocols.
+
+    Self-deliveries are loopback and bypass the NIC.  Dropped copies do not
+    occupy the uplink (loss is modelled end-to-end, as in
+    :class:`DirectTransport`).  Per-copy wire time is
+    ``per_message_overhead + size / uplink_bytes_per_s``, reusing the
+    bandwidth model's overhead term; propagation comes from the latency
+    model as usual.
+    """
+
+    name = "contended"
+
+    #: Default uplink capacity: 1 Gbit/s, the paper's instance uplink.
+    DEFAULT_UPLINK_BYTES_PER_S = 125_000_000.0
+
+    def __init__(self, latency: LatencyModel, bandwidth: BandwidthModel,
+                 faults: FaultPlan,
+                 uplink_bytes_per_s: Optional[float] = None) -> None:
+        super().__init__(latency, bandwidth, faults)
+        if uplink_bytes_per_s is None:
+            uplink_bytes_per_s = self.DEFAULT_UPLINK_BYTES_PER_S
+        if uplink_bytes_per_s <= 0:
+            raise ValueError("uplink capacity must be positive")
+        self.uplink_bytes_per_s = float(uplink_bytes_per_s)
+        self._nic_free_at: Dict[int, float] = {}
+        self._wire_bytes = 0
+        self._queued_messages = 0
+        self._queue_delay_total = 0.0
+        self._queue_delay_max = 0.0
+
+    def reset(self) -> None:
+        """Clear the NIC queues and counters."""
+        self._nic_free_at.clear()
+        self._wire_bytes = 0
+        self._queued_messages = 0
+        self._queue_delay_total = 0.0
+        self._queue_delay_max = 0.0
+
+    def stats(self) -> Dict[str, object]:
+        """Uplink counters: wire bytes, copies that queued, queueing delay."""
+        return {
+            "transport": self.name,
+            "uplink_bytes_per_s": self.uplink_bytes_per_s,
+            "wire_bytes": self._wire_bytes,
+            "queued_messages": self._queued_messages,
+            "queue_delay_total_s": self._queue_delay_total,
+            "queue_delay_max_s": self._queue_delay_max,
+        }
+
+    def unicast(self, sender: int, receiver: int, message: Message, now: float,
+                rng: random.Random) -> Optional[Delivery]:
+        """Copy through the sender's NIC queue (loopback for self-sends).
+
+        A partition holds the copy *after* it leaves the NIC (the period of
+        asynchrony is in the network, not the sender): the uplink drains
+        from ``now`` regardless, so partitioned traffic never reserves the
+        NIC from a future release time while the link sits idle.  Partition
+        membership is evaluated at the NIC-departure time, so a copy whose
+        backlog pushes its departure into a later partition window is held
+        like any other message travelling at that time.
+        """
+        size = getattr(message, "wire_size", 0)
+        faults = None
+        if not self._trivial_faults:
+            faults = self.faults
+            if faults.should_drop(sender, receiver, now, rng):
+                return None
+        propagation = self.latency.delay(sender, receiver, rng)
+        if receiver == sender:
+            # Loopback: no uplink involved; charge only the LAN-side transfer.
+            transfer = self.bandwidth.transfer_time(sender, receiver, size)
+            done = now + transfer
+            hold = 0.0
+            if faults is not None:
+                release = faults.partition_release(sender, receiver, done)
+                if release is not None:
+                    hold = release - done
+                    done = release
+            return Delivery(receiver, done + propagation,
+                            hold, 0.0, transfer, propagation)
+        transfer = (self.bandwidth.per_message_overhead_s
+                    + size / self.uplink_bytes_per_s)
+        start = self._nic_free_at.get(sender, 0.0)
+        if start < now:
+            start = now
+        queue = start - now
+        done = start + transfer
+        self._nic_free_at[sender] = done
+        self._wire_bytes += size
+        if queue > 0.0:
+            self._queued_messages += 1
+            self._queue_delay_total += queue
+            if queue > self._queue_delay_max:
+                self._queue_delay_max = queue
+        hold = 0.0
+        if faults is not None:
+            release = faults.partition_release(sender, receiver, done)
+            if release is not None:
+                hold = release - done
+                done = release
+        return Delivery(receiver, done + propagation,
+                        hold, queue, transfer, propagation)
+
+
+class RelayTransport(Transport):
+    """Dissemination trees: broadcasts fan out through ``k`` relay replicas.
+
+    A broadcast sends direct copies to the sender itself and to the first
+    ``k`` live non-sender receivers (the relays); every remaining receiver
+    is assigned to a relay round-robin and gets its copy *forwarded*: it
+    arrives at ``relay_arrival + transfer(relay, receiver) +
+    propagation(relay, receiver)``.  The sender thus puts only ``k`` copies
+    on its uplink regardless of n, at the price of one extra hop for the
+    non-relay receivers.
+
+    Robustness choices (kept deliberately simple):
+
+    * random loss is decided once end-to-end per receiver, with the same
+      ``sender → receiver`` draw a direct broadcast would use, so loss
+      rates are comparable across transports;
+    * crashed relays are never selected, and if a relay's own copy is lost
+      the sender falls back to serving that relay's children directly — a
+      one-shot stand-in for the retransmission a real dissemination layer
+      would perform, so a lost relay never silences its whole subtree.
+
+    Unicasts do not use relays; they behave exactly like
+    :class:`DirectTransport`.
+    """
+
+    name = "relay"
+
+    def __init__(self, latency: LatencyModel, bandwidth: BandwidthModel,
+                 faults: FaultPlan, relays: int = 2) -> None:
+        super().__init__(latency, bandwidth, faults)
+        if relays < 1:
+            raise ValueError("relay count must be positive")
+        self.relays = relays
+        self._wire_copies = 0
+        self._wire_bytes = 0
+        self._sender_copies = 0
+        self._sender_bytes = 0
+        self._direct = DirectTransport(latency, bandwidth, faults)
+
+    def reset(self) -> None:
+        """Clear the wire counters."""
+        self._wire_copies = 0
+        self._wire_bytes = 0
+        self._sender_copies = 0
+        self._sender_bytes = 0
+
+    def stats(self) -> Dict[str, object]:
+        """Wire counters for the tree.
+
+        ``wire_copies``/``wire_bytes`` count per-link transmissions: every
+        delivery is exactly one new transmission (a forwarded child reuses
+        the already-counted sender→relay hop), so a full tree costs the
+        same n−1 transmissions a direct broadcast does.  The tree's payoff
+        is in ``sender_copies``/``sender_bytes`` — the share transmitted by
+        the *original sender*, O(k) per broadcast instead of O(n).
+        """
+        return {
+            "transport": self.name,
+            "relays": self.relays,
+            "wire_copies": self._wire_copies,
+            "wire_bytes": self._wire_bytes,
+            "sender_copies": self._sender_copies,
+            "sender_bytes": self._sender_bytes,
+        }
+
+    def unicast(self, sender: int, receiver: int, message: Message, now: float,
+                rng: random.Random) -> Optional[Delivery]:
+        """Point-to-point messages skip the tree entirely."""
+        delivery = self._direct.unicast(sender, receiver, message, now, rng)
+        if delivery is not None and receiver != sender:
+            self._count_wire(sender=True, size=getattr(message, "wire_size", 0))
+        return delivery
+
+    def _count_wire(self, sender: bool, size: int) -> None:
+        """Record one link transmission (``sender=True`` if the original
+        sender transmitted it, as opposed to a relay)."""
+        self._wire_copies += 1
+        self._wire_bytes += size
+        if sender:
+            self._sender_copies += 1
+            self._sender_bytes += size
+
+    def broadcast(self, sender: int, receivers: Sequence[int], message: Message,
+                  now: float, rng: random.Random) -> List[Delivery]:
+        """Two-hop dissemination through the relay set.
+
+        The rng order is fixed and documented: first the relays' direct
+        copies (in receiver order), then one end-to-end drop draw plus one
+        final-hop propagation draw per remaining receiver (in receiver
+        order) — so executions are reproducible under a fixed seed.
+        """
+        size = getattr(message, "wire_size", 0)
+        faults = self.faults
+        relay_ids = [
+            receiver for receiver in receivers
+            if receiver != sender and not faults.is_crashed(receiver, now)
+        ][: self.relays]
+        if not relay_ids:
+            deliveries = self._direct.broadcast(sender, receivers, message, now, rng)
+            for delivery in deliveries:
+                if delivery.receiver != sender:
+                    self._count_wire(sender=True, size=size)
+            return deliveries
+        deliveries: List[Delivery] = []
+        arrivals: Dict[int, float] = {}  # relay id -> arrival time (None if lost)
+        for relay in relay_ids:
+            delivery = self._direct.unicast(sender, relay, message, now, rng)
+            if delivery is not None:
+                arrivals[relay] = delivery.deliver_at
+                deliveries.append(delivery)
+                self._count_wire(sender=True, size=size)
+        transfer_time = self.bandwidth.transfer_time
+        delay = self.latency.delay
+        child_index = 0
+        for receiver in receivers:
+            if receiver == sender:
+                # Loopback: delivered, but never on the wire.
+                delivery = self._direct.unicast(sender, receiver, message, now, rng)
+                if delivery is not None:
+                    deliveries.append(delivery)
+                continue
+            if receiver in relay_ids:
+                continue
+            relay = relay_ids[child_index % len(relay_ids)]
+            child_index += 1
+            if not self._trivial_faults and faults.should_drop(
+                    sender, receiver, now, rng):
+                continue
+            forward_at = arrivals.get(relay)
+            if forward_at is None:
+                # The relay's copy was lost: the sender serves this child
+                # directly (modelling repair/retransmission), with the same
+                # partition hold a direct send would observe.
+                send_time = now
+                hold = 0.0
+                if not self._trivial_faults:
+                    release = faults.partition_release(sender, receiver, now)
+                    if release is not None:
+                        send_time = release
+                        hold = release - now
+                transfer = transfer_time(sender, receiver, size)
+                propagation = delay(sender, receiver, rng)
+                deliveries.append(Delivery(receiver,
+                                           send_time + transfer + propagation,
+                                           hold, 0.0, transfer, propagation))
+                self._count_wire(sender=True, size=size)
+                continue
+            start = forward_at
+            if not self._trivial_faults:
+                release = faults.partition_release(relay, receiver, forward_at)
+                if release is not None:
+                    start = release
+            transfer = transfer_time(relay, receiver, size)
+            propagation = delay(relay, receiver, rng)
+            # Decomposition: the whole upstream (sender→relay) leg is the
+            # copy's queue_delay, the relay-side partition wait its hold —
+            # so the Delivery invariant (components sum to deliver_at from
+            # the broadcast instant) holds for forwarded copies too.
+            deliveries.append(Delivery(receiver, start + transfer + propagation,
+                                       start - forward_at, forward_at - now,
+                                       transfer, propagation, via=relay))
+            # One new transmission: the relay→child hop.  The sender→relay
+            # hop was counted once when the relay's own copy was scheduled.
+            self._count_wire(sender=False, size=size)
+        return deliveries
+
+
+#: Transport registry, keyed by the names accepted by
+#: :class:`repro.runtime.simulator.NetworkConfig` and the CLI.
+TRANSPORTS = {
+    "direct": DirectTransport,
+    "contended": ContendedUplinkTransport,
+    "relay": RelayTransport,
+}
+
+
+def available_transports() -> List[str]:
+    """The registered transport names, sorted."""
+    return sorted(TRANSPORTS)
+
+
+def build_transport(transport, latency: LatencyModel, bandwidth: BandwidthModel,
+                    faults: FaultPlan, uplink_bytes_per_s: Optional[float] = None,
+                    relays: int = 2) -> Transport:
+    """Build (or adopt) the transport selected by a network configuration.
+
+    Args:
+        transport: a registered name (``"direct"``, ``"contended"``,
+            ``"relay"``) or an already-constructed :class:`Transport`
+            instance (adopted as-is after a :meth:`Transport.reset`).
+        latency: propagation-delay model.
+        bandwidth: transfer-time model.
+        faults: fault plan consulted on every send.
+        uplink_bytes_per_s: NIC capacity for ``"contended"`` (``None``
+            selects the 1 Gbit/s default).
+        relays: relay fan-out for ``"relay"``.
+
+    Raises:
+        KeyError: for an unknown transport name.
+    """
+    if isinstance(transport, Transport):
+        transport.reset()
+        return transport
+    try:
+        factory = TRANSPORTS[transport]
+    except KeyError:
+        available = ", ".join(available_transports())
+        raise KeyError(
+            f"unknown transport {transport!r} (available: {available})"
+        ) from None
+    if factory is ContendedUplinkTransport:
+        return ContendedUplinkTransport(latency, bandwidth, faults,
+                                        uplink_bytes_per_s=uplink_bytes_per_s)
+    if factory is RelayTransport:
+        return RelayTransport(latency, bandwidth, faults, relays=relays)
+    return factory(latency, bandwidth, faults)

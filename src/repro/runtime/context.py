@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from repro.types.messages import Message
 
@@ -43,8 +43,12 @@ class ReplicaContext(ABC):
 
     @property
     @abstractmethod
-    def replica_ids(self) -> list:
-        """All replica ids in the system (sorted)."""
+    def replica_ids(self) -> Sequence[int]:
+        """All replica ids in the system (sorted).
+
+        Implementations may return an immutable sequence (the simulator
+        hands out a cached tuple); callers must not mutate it.
+        """
 
     @abstractmethod
     def now(self) -> float:

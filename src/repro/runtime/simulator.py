@@ -4,10 +4,18 @@ The simulator drives a set of protocol replicas over the network substrate
 (:mod:`repro.net`).  It owns a single priority queue of events (message
 deliveries and timer firings) keyed by ``(time, sequence)`` — the sequence
 number gives a stable, deterministic tie-break, so a given configuration and
-seed always produces the same execution.
+seed always produces the same execution.  Events are plain
+``(time, seq, kind, target, payload)`` tuples: tuple comparisons run in C
+and never reach the ``kind`` field (sequence numbers are unique), which
+keeps the heap operations off the Python bytecode path.
 
-Message timing: when replica ``a`` sends a message of ``wire_size`` bytes to
-replica ``b`` at time ``t``, it is delivered at::
+Message timing is owned entirely by the :class:`repro.net.transport.Transport`
+selected through :class:`NetworkConfig` (default:
+:class:`repro.net.transport.DirectTransport`): when replica ``a`` sends a
+message of ``wire_size`` bytes to replica ``b`` at time ``t``, the transport
+composes the fault, bandwidth, and latency models into a per-receiver
+:class:`repro.net.transport.Delivery` (or drops the copy).  Under the
+default transport a message is delivered at::
 
     t + transfer_time(a, b, size) + propagation_delay(a, b)
 
@@ -28,11 +36,12 @@ import itertools
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.net.bandwidth import BandwidthModel
 from repro.net.faults import FaultPlan
 from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.transport import Delivery, Transport, build_transport
 from repro.runtime.context import ReplicaContext, Timer
 from repro.types.blocks import Block
 from repro.types.messages import Message
@@ -47,12 +56,22 @@ class NetworkConfig:
         bandwidth: size-dependent transfer-time model.
         faults: crash / drop / partition plan.
         seed: seed for all stochastic choices (jitter, drops).
+        transport: dissemination strategy — a registered name (``"direct"``,
+            ``"contended"``, ``"relay"``; see
+            :data:`repro.net.transport.TRANSPORTS`) or a ready
+            :class:`repro.net.transport.Transport` instance.
+        uplink_bytes_per_s: per-replica NIC capacity for the ``"contended"``
+            transport (``None`` selects its 1 Gbit/s default).
+        relays: relay fan-out for the ``"relay"`` transport.
     """
 
     latency: LatencyModel = field(default_factory=lambda: ConstantLatency(0.05))
     bandwidth: BandwidthModel = field(default_factory=BandwidthModel)
     faults: FaultPlan = field(default_factory=FaultPlan.none)
     seed: int = 0
+    transport: Union[str, Transport] = "direct"
+    uplink_bytes_per_s: Optional[float] = None
+    relays: int = 2
 
 
 @dataclass(frozen=True)
@@ -75,37 +94,31 @@ class CommitRecord:
 #: Event target used for injected external events (not a replica id).
 _EXTERNAL_TARGET = -1
 
-
-class _Event:
-    """Internal event: a message delivery, timer firing, or external callback."""
-
-    __slots__ = ("time", "seq", "kind", "target", "payload")
-
-    def __init__(self, time: float, seq: int, kind: str, target: int, payload: Any) -> None:
-        self.time = time
-        self.seq = seq
-        self.kind = kind
-        self.target = target
-        self.payload = payload
-
-    def __lt__(self, other: "_Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+#: Signature of delivery listeners registered via
+#: :meth:`Simulation.add_delivery_listener`: ``(sender, receiver, message,
+#: send_time, delivery_or_None)`` — ``None`` marks a dropped copy.
+DeliveryListener = Callable[[int, int, Message, float, Optional[Delivery]], None]
 
 
 class _SimContext(ReplicaContext):
     """Per-replica context implementation backed by the simulator."""
 
+    __slots__ = ("_simulation", "_replica_id", "_replica_ids")
+
     def __init__(self, simulation: "Simulation", replica_id: int) -> None:
         self._simulation = simulation
         self._replica_id = replica_id
+        # Cached immutable view: ``broadcast`` runs once per protocol send
+        # and must not rebuild the id list every time.
+        self._replica_ids: Tuple[int, ...] = simulation._replica_id_tuple
 
     @property
     def replica_id(self) -> int:
         return self._replica_id
 
     @property
-    def replica_ids(self) -> list:
-        return list(self._simulation.replica_ids)
+    def replica_ids(self) -> Tuple[int, ...]:
+        return self._replica_ids
 
     def now(self) -> float:
         return self._simulation.now
@@ -114,8 +127,7 @@ class _SimContext(ReplicaContext):
         self._simulation._enqueue_message(self._replica_id, receiver, message)
 
     def broadcast(self, message: Message) -> None:
-        for receiver in self._simulation.replica_ids:
-            self._simulation._enqueue_message(self._replica_id, receiver, message)
+        self._simulation._broadcast_message(self._replica_id, message)
 
     def set_timer(self, delay: float, name: str, data: Any = None) -> int:
         return self._simulation._arm_timer(self._replica_id, delay, name, data)
@@ -133,7 +145,8 @@ class Simulation:
     Args:
         protocols: mapping replica id → protocol instance (anything matching
             :class:`repro.protocols.base.Protocol`).
-        network: the network substrate configuration.
+        network: the network substrate configuration (including the
+            dissemination transport).
 
     Usage::
 
@@ -147,10 +160,19 @@ class Simulation:
             raise ValueError("simulation needs at least one replica")
         self._protocols = dict(protocols)
         self.replica_ids: List[int] = sorted(self._protocols)
+        self._replica_id_tuple: Tuple[int, ...] = tuple(self.replica_ids)
         self.network = network or NetworkConfig()
         self._rng = random.Random(self.network.seed)
+        self._transport: Transport = build_transport(
+            self.network.transport,
+            latency=self.network.latency,
+            bandwidth=self.network.bandwidth,
+            faults=self.network.faults,
+            uplink_bytes_per_s=self.network.uplink_bytes_per_s,
+            relays=self.network.relays,
+        )
         self.now: float = 0.0
-        self._queue: List[_Event] = []
+        self._queue: List[tuple] = []
         self._seq = itertools.count()
         self._timer_ids = itertools.count(1)
         self._cancelled_timers: set = set()
@@ -161,6 +183,7 @@ class Simulation:
         }
         self._commits: Dict[int, List[CommitRecord]] = {r: [] for r in self.replica_ids}
         self._commit_listeners: List[Callable[[CommitRecord], None]] = []
+        self._delivery_listeners: List[DeliveryListener] = []
         self._messages_sent = 0
         self._messages_delivered = 0
         self._messages_dropped = 0
@@ -188,8 +211,22 @@ class Simulation:
 
     @property
     def bytes_sent(self) -> int:
-        """Total logical bytes handed to the network."""
+        """Total logical bytes handed to the network.
+
+        This counts one copy per logical receiver regardless of transport, so
+        the number is comparable across dissemination strategies; the actual
+        on-the-wire cost of a strategy is in :meth:`transport_stats`.
+        """
         return self._bytes_sent
+
+    @property
+    def transport(self) -> Transport:
+        """The dissemination transport moving this simulation's messages."""
+        return self._transport
+
+    def transport_stats(self) -> Dict[str, object]:
+        """Transport-specific counters (wire bytes, uplink queueing, ...)."""
+        return self._transport.stats()
 
     def protocol(self, replica_id: int) -> Any:
         """Return the protocol instance of ``replica_id``."""
@@ -206,6 +243,17 @@ class Simulation:
     def add_commit_listener(self, listener: Callable[[CommitRecord], None]) -> None:
         """Register a callback invoked on every commit record."""
         self._commit_listeners.append(listener)
+
+    def add_delivery_listener(self, listener: DeliveryListener) -> None:
+        """Register a callback invoked on every message send attempt.
+
+        The listener receives ``(sender, receiver, message, send_time,
+        delivery)`` with ``delivery=None`` for dropped copies — the seam
+        used by :func:`repro.runtime.trace.attach_network_trace` to record
+        queueing and propagation delay separately.  Listeners add per-send
+        overhead; attach them only when tracing.
+        """
+        self._delivery_listeners.append(listener)
 
     @property
     def external_events_scheduled(self) -> int:
@@ -238,9 +286,8 @@ class Simulation:
         if not callable(callback):
             raise TypeError("external event callback must be callable")
         self._external_scheduled += 1
-        event = _Event(self.now + delay, next(self._seq), "external",
-                       _EXTERNAL_TARGET, callback)
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), "external",
+                                     _EXTERNAL_TARGET, callback))
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -257,19 +304,26 @@ class Simulation:
             self._protocols[replica_id].on_start(self._contexts[replica_id])
 
     def step(self) -> bool:
-        """Process the next event; return ``False`` if the queue is empty."""
+        """Process the next event; return ``False`` if the queue is empty.
+
+        This single-step path and the inlined loop in :meth:`run` implement
+        the same pop/skip/dispatch semantics and must stay in sync — the
+        golden equivalence tests in ``tests/test_transport.py`` pin both.
+        """
         if not self._started:
             self.start()
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.kind == "timer":
-                timer_id = event.payload.timer_id
+        queue = self._queue
+        while queue:
+            time_, _seq, kind, target, payload = heapq.heappop(queue)
+            if kind == "timer":
+                timer_id = payload.timer_id
                 self._pending_timers.discard(timer_id)
                 if timer_id in self._cancelled_timers:
                     self._cancelled_timers.discard(timer_id)
                     continue
-            self.now = max(self.now, event.time)
-            self._dispatch(event)
+            if time_ > self.now:
+                self.now = time_
+            self._dispatch(kind, target, payload)
             return True
         return False
 
@@ -278,27 +332,72 @@ class Simulation:
 
         Events scheduled after ``until`` remain queued; the clock is advanced
         to exactly ``until`` at the end so measurements have a common horizon.
+        (One deliberate edge: when a *cancelled* timer sits at the heap head
+        inside the horizon, the next real event is dispatched without
+        re-checking ``until`` — preserved from the original ``step()``-based
+        loop so that seeded executions stay byte-for-byte reproducible.)
+
+        This is the hot loop: the heap is touched once per event, the
+        per-event bookkeeping is inlined, and the invariant lookups
+        (protocol table, contexts, fault plan) are hoisted out of the loop.
         """
         if not self._started:
             self.start()
+        queue = self._queue
+        heappop = heapq.heappop
+        pending_timers = self._pending_timers
+        cancelled_timers = self._cancelled_timers
+        protocols = self._protocols
+        contexts = self._contexts
+        faults = self.network.faults
+        # A fault plan without crash entries can never report a crashed
+        # replica, so the per-event check is dropped entirely.
+        is_crashed = faults.is_crashed if faults.crash_schedule.crash_times else None
         processed = 0
-        while self._queue:
+        while queue:
             if max_events is not None and processed >= max_events:
                 break
-            if self._queue[0].time > until:
+            if queue[0][0] > until:
                 break
-            self.step()
-            processed += 1
-        self.now = max(self.now, until)
+            # Pop until one dispatchable event is processed (cancelled
+            # timers are skipped without counting against ``max_events``).
+            # Keep the pop/skip/dispatch semantics in sync with step().
+            while queue:
+                time_, _seq, kind, target, payload = heappop(queue)
+                if kind == "timer":
+                    timer_id = payload.timer_id
+                    pending_timers.discard(timer_id)
+                    if timer_id in cancelled_timers:
+                        cancelled_timers.discard(timer_id)
+                        continue
+                if time_ > self.now:
+                    self.now = time_
+                if kind == "message":
+                    if is_crashed is not None and is_crashed(target, self.now):
+                        self._messages_dropped += 1
+                    else:
+                        sender, message = payload
+                        self._messages_delivered += 1
+                        protocols[target].on_message(contexts[target], sender, message)
+                elif kind == "timer":
+                    if is_crashed is None or not is_crashed(target, self.now):
+                        protocols[target].on_timer(contexts[target], payload)
+                elif kind == "external":
+                    payload()
+                else:  # pragma: no cover - defensive
+                    raise RuntimeError(f"unknown event kind {kind!r}")
+                processed += 1
+                break
+        if until != math.inf:
+            self.now = max(self.now, until)
 
     def run_until_idle(self, max_events: int = 1_000_000) -> None:
-        """Run until no events remain (bounded by ``max_events``)."""
-        if not self._started:
-            self.start()
-        processed = 0
-        while self._queue and processed < max_events:
-            self.step()
-            processed += 1
+        """Run until no events remain (bounded by ``max_events``).
+
+        Shares :meth:`run`'s hot loop (an infinite horizon never advances
+        the clock past the last event).
+        """
+        self.run(until=math.inf, max_events=max_events)
 
     # ------------------------------------------------------------------ #
     # Internals used by the per-replica contexts
@@ -306,32 +405,48 @@ class Simulation:
 
     def _enqueue_message(self, sender: int, receiver: int, message: Message) -> None:
         self._messages_sent += 1
-        size = getattr(message, "wire_size", 0)
-        self._bytes_sent += size
-        faults = self.network.faults
-        if faults.should_drop(sender, receiver, self.now, self._rng):
+        self._bytes_sent += getattr(message, "wire_size", 0)
+        delivery = self._transport.unicast(sender, receiver, message, self.now, self._rng)
+        if self._delivery_listeners:
+            for listener in self._delivery_listeners:
+                listener(sender, receiver, message, self.now, delivery)
+        if delivery is None:
             self._messages_dropped += 1
             return
-        send_time = self.now
-        release = faults.partition_release(sender, receiver, self.now)
-        if release is not None:
-            # Partition = period of asynchrony: the message is held back and
-            # starts travelling once the partition heals.
-            send_time = release
-        transfer = self.network.bandwidth.transfer_time(sender, receiver, size)
-        propagation = self.network.latency.delay(sender, receiver, self._rng)
-        deliver_at = send_time + transfer + propagation
-        event = _Event(deliver_at, next(self._seq), "message", receiver, (sender, message))
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (delivery.deliver_at, next(self._seq), "message",
+                                     receiver, (sender, message)))
+
+    def _broadcast_message(self, sender: int, message: Message) -> None:
+        receivers = self._replica_id_tuple
+        count = len(receivers)
+        self._messages_sent += count
+        self._bytes_sent += getattr(message, "wire_size", 0) * count
+        deliveries = self._transport.broadcast(sender, receivers, message,
+                                               self.now, self._rng)
+        dropped = count - len(deliveries)
+        if dropped:
+            self._messages_dropped += dropped
+        queue = self._queue
+        seq = self._seq
+        heappush = heapq.heappush
+        for delivery in deliveries:
+            heappush(queue, (delivery.deliver_at, next(seq), "message",
+                             delivery.receiver, (sender, message)))
+        if self._delivery_listeners:
+            delivered = {delivery.receiver: delivery for delivery in deliveries}
+            for receiver in receivers:
+                delivery = delivered.get(receiver)
+                for listener in self._delivery_listeners:
+                    listener(sender, receiver, message, self.now, delivery)
 
     def _arm_timer(self, replica_id: int, delay: float, name: str, data: Any) -> int:
         if delay < 0:
             raise ValueError("timer delay must be non-negative")
         timer_id = next(self._timer_ids)
         timer = Timer(name=name, fire_time=self.now + delay, data=data, timer_id=timer_id)
-        event = _Event(timer.fire_time, next(self._seq), "timer", replica_id, timer)
         self._pending_timers.add(timer_id)
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (timer.fire_time, next(self._seq), "timer",
+                                     replica_id, timer))
         return timer_id
 
     def _cancel_timer(self, timer_id: int) -> None:
@@ -353,22 +468,21 @@ class Simulation:
             for listener in self._commit_listeners:
                 listener(record)
 
-    def _dispatch(self, event: _Event) -> None:
-        if event.kind == "external":
-            event.payload()
+    def _dispatch(self, kind: str, target: int, payload: Any) -> None:
+        if kind == "external":
+            payload()
             return
-        replica_id = event.target
-        if self.network.faults.is_crashed(replica_id, self.now):
-            if event.kind == "message":
+        if self.network.faults.is_crashed(target, self.now):
+            if kind == "message":
                 self._messages_dropped += 1
             return
-        protocol = self._protocols[replica_id]
-        context = self._contexts[replica_id]
-        if event.kind == "message":
-            sender, message = event.payload
+        protocol = self._protocols[target]
+        context = self._contexts[target]
+        if kind == "message":
+            sender, message = payload
             self._messages_delivered += 1
             protocol.on_message(context, sender, message)
-        elif event.kind == "timer":
-            protocol.on_timer(context, event.payload)
+        elif kind == "timer":
+            protocol.on_timer(context, payload)
         else:  # pragma: no cover - defensive
-            raise RuntimeError(f"unknown event kind {event.kind!r}")
+            raise RuntimeError(f"unknown event kind {kind!r}")

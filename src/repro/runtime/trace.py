@@ -30,9 +30,13 @@ class TraceEvent:
         time: simulation / model time of the event.
         replica_id: the replica the event belongs to.
         kind: event kind, one of ``start``, ``recv``, ``timer``, ``send``,
-            ``broadcast``, ``arm-timer``, ``commit``.
+            ``broadcast``, ``arm-timer``, ``commit`` — plus, for network
+            traces (:func:`attach_network_trace`), ``net-send`` and
+            ``net-drop``.
         detail: short human-readable description.
-        data: optional structured payload (message type, block round, ...).
+        data: optional structured payload (message type, block round, ...;
+            for ``net-send`` events the delay decomposition — queueing,
+            transfer, propagation — of the scheduled delivery).
     """
 
     time: float
@@ -175,3 +179,56 @@ def trace_replicas(replicas: Dict[int, Protocol],
     """Wrap every replica in ``replicas`` with a tracer sharing one log."""
     log = shared_log if shared_log is not None else TraceLog()
     return {replica_id: ProtocolTracer(protocol, log) for replica_id, protocol in replicas.items()}
+
+
+def attach_network_trace(simulation, log: Optional[TraceLog] = None) -> TraceLog:
+    """Record every message send attempt with its delay decomposition.
+
+    Registers a delivery listener on ``simulation`` (a
+    :class:`repro.runtime.simulator.Simulation`) that appends one event per
+    copy the transport schedules: kind ``net-send`` with the time spent in
+    each pipeline stage — partition hold, sender-uplink queueing, wire
+    transfer, and propagation — recorded *separately* in ``data``, so
+    contention effects are distinguishable from distance.  Dropped copies
+    appear as ``net-drop`` events.
+
+    The protocol-level tracers above answer "what did the replica do"; this
+    answers "where did the message's time go".  Combine both on one shared
+    log for a full picture::
+
+        replicas = trace_replicas(create_replicas("banyan", params))
+        sim = Simulation(replicas, NetworkConfig(transport="contended"))
+        log = attach_network_trace(sim, replicas[0].log)
+    """
+    trace_log = log if log is not None else TraceLog()
+
+    def on_delivery(sender: int, receiver: int, message, send_time: float,
+                    delivery) -> None:
+        name = type(message).__name__
+        if delivery is None:
+            trace_log.append(TraceEvent(
+                time=send_time, replica_id=sender, kind="net-drop",
+                detail=f"{name} -> r{receiver} dropped",
+                data={"receiver": receiver},
+            ))
+            return
+        trace_log.append(TraceEvent(
+            time=send_time, replica_id=sender, kind="net-send",
+            detail=(f"{name} -> r{receiver}"
+                    f" queue={delivery.queue_delay * 1e3:.2f}ms"
+                    f" wire={delivery.transfer_delay * 1e3:.2f}ms"
+                    f" prop={delivery.propagation_delay * 1e3:.2f}ms"
+                    + (f" via r{delivery.via}" if delivery.via is not None else "")),
+            data={
+                "receiver": receiver,
+                "deliver_at": delivery.deliver_at,
+                "hold_s": delivery.hold_delay,
+                "queue_s": delivery.queue_delay,
+                "transfer_s": delivery.transfer_delay,
+                "propagation_s": delivery.propagation_delay,
+                "via": delivery.via,
+            },
+        ))
+
+    simulation.add_delivery_listener(on_delivery)
+    return trace_log

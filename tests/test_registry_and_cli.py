@@ -139,3 +139,38 @@ class TestCLI:
         ]) == 0
         out = capsys.readouterr().out
         assert "goodput_tx_per_s_ci95" in out
+
+    def test_run_command_with_contended_transport(self, capsys):
+        assert main([
+            "run", "--protocol", "banyan", "--n", "4", "--f", "1", "--p", "1",
+            "--payload", "100000", "--duration", "5",
+            "--transport", "contended", "--uplink-mbps", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean_latency_ms" in out
+
+    def test_run_command_rejects_uplink_without_contended(self, capsys):
+        assert main([
+            "run", "--n", "4", "--f", "1", "--duration", "5",
+            "--uplink-mbps", "20",
+        ]) == 2
+        assert "--transport contended" in capsys.readouterr().err
+
+    def test_run_command_rejects_relays_without_relay_transport(self, capsys):
+        assert main([
+            "run", "--n", "4", "--f", "1", "--duration", "5", "--relays", "3",
+        ]) == 2
+        assert "--transport relay" in capsys.readouterr().err
+
+    def test_run_command_rejects_unknown_transport(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--n", "4", "--f", "1", "--transport", "quic"])
+
+    def test_figure_uplink_listed_and_runs_tiny(self, capsys):
+        assert main(["list"]) == 0
+        assert "uplink" in capsys.readouterr().out
+        assert main(["figure", "uplink", "--duration", "2",
+                     "--warmup", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "banyan (contended uplink)" in out
+        assert "banyan (ideal uplink)" in out
