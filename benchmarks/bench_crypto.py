@@ -1,0 +1,102 @@
+"""Aggregate-signature verification benchmark: the memoized fast path.
+
+Protocols re-verify the same certificate on every receipt (ICC's
+``_handle_certificate`` runs once per broadcast copy), so repeated
+verification of one ``(message, signer set)`` pair is the hot crypto
+operation.  This bench measures three regimes over a quorum-sized
+aggregate:
+
+* **cold** — distinct messages, every share HMAC recomputed (the memo
+  never hits);
+* **repeat** — one certificate verified many times (after the first call,
+  each check is a digest plus a memo lookup);
+* **batch** — :func:`repro.crypto.aggregate.verify_many` over the repeats
+  (the message digest itself is also shared).
+
+Each run emits one ``BENCH_bench_crypto.json`` record with verifications/s
+per regime, so the crypto fast path's trajectory is tracked across commits
+alongside the figure benches.
+"""
+
+from __future__ import annotations
+
+import time
+from types import SimpleNamespace
+
+from benchmarks.conftest import emit_bench_record, paper_comparison
+
+from repro.crypto.aggregate import AggregateSignature, verify_many
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import sign
+
+#: Replica count and quorum size of the benchmarked certificate (the
+#: paper's n=19 with Banyan's ``⌈(n+f+1)/2⌉`` = 13 quorum).
+N_REPLICAS = 19
+QUORUM = 13
+
+#: Verifications per regime.
+COLD_MESSAGES = 200
+REPEATS = 5_000
+
+
+def _aggregate_for(message, registry: KeyRegistry) -> AggregateSignature:
+    """A quorum-sized aggregate over ``message``."""
+    return AggregateSignature.from_shares(
+        [sign(message, signer, registry) for signer in range(QUORUM)]
+    )
+
+
+def _run_regimes() -> list:
+    """Time the three verification regimes; return their throughput rows."""
+    registry = KeyRegistry.for_replicas(N_REPLICAS)
+    rows = []
+
+    # Cold: distinct messages, so every verification does the share HMACs.
+    messages = [("notarization", round_k, b"block") for round_k in range(COLD_MESSAGES)]
+    aggregates = [_aggregate_for(message, registry) for message in messages]
+    registry.aggregate_verify_cache().clear()
+    start = time.perf_counter()
+    assert all(aggregate.verify(message, registry)
+               for message, aggregate in zip(messages, aggregates))
+    cold_wall = time.perf_counter() - start
+    rows.append({"regime": "cold", "verifications": COLD_MESSAGES,
+                 "wall_s": round(cold_wall, 6),
+                 "verifications_per_s": round(COLD_MESSAGES / cold_wall, 1)})
+
+    # Repeat: one certificate checked on every (simulated) receipt.
+    message = ("notarization", 1, b"block")
+    aggregate = _aggregate_for(message, registry)
+    aggregate.verify(message, registry)  # warm the memo
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        assert aggregate.verify(message, registry)
+    repeat_wall = time.perf_counter() - start
+    rows.append({"regime": "repeat", "verifications": REPEATS,
+                 "wall_s": round(repeat_wall, 6),
+                 "verifications_per_s": round(REPEATS / repeat_wall, 1)})
+
+    # Batch: the same repeats through verify_many (shared digesting too).
+    pairs = [(message, aggregate)] * REPEATS
+    start = time.perf_counter()
+    assert all(verify_many(pairs, registry))
+    batch_wall = time.perf_counter() - start
+    rows.append({"regime": "batch", "verifications": REPEATS,
+                 "wall_s": round(batch_wall, 6),
+                 "verifications_per_s": round(REPEATS / batch_wall, 1)})
+    return rows
+
+
+def test_aggregate_verification_throughput(benchmark) -> None:
+    """Verifications/s of cold vs. memoized vs. batched aggregate checks."""
+    rows = benchmark.pedantic(_run_regimes, rounds=1, iterations=1)
+    total_wall = sum(row["wall_s"] for row in rows)
+    emit_bench_record(
+        "bench_crypto", total_wall,
+        SimpleNamespace(figure="bench-crypto", replications=1,
+                        series={"aggregate_verify": rows}),
+    )
+    paper_comparison(rows)
+    by_regime = {row["regime"]: row for row in rows}
+    # The memo must actually pay: repeated checks beat cold per-share work.
+    assert (by_regime["repeat"]["verifications_per_s"]
+            > by_regime["cold"]["verifications_per_s"])

@@ -4,12 +4,20 @@ These replicas are planted into otherwise-honest replica sets in tests and
 ablation benchmarks.  They are intentionally *not* exhaustive adversaries —
 they exercise the specific failure modes the paper's analysis discusses:
 silence (crash), leader equivocation, and stragglers.
+
+Detection is generic: honest replicas tally every vote through the shared
+quorum engine (:mod:`repro.smr.quorum`), which records any signer observed
+supporting two different blocks — no per-protocol detection code.  Such an
+observation is only *proof* of misbehaviour for vote kinds where honest
+replicas vote at most once per round; :func:`fast_vote_equivocators`
+surfaces the sound Banyan fast-path flavour (honest replicas fast-vote at
+most once per round, so any flagged signer has provably misbehaved).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Type
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Type
 
 from repro.core.banyan import BanyanReplica
 from repro.protocols.base import Protocol, ProtocolParams
@@ -17,6 +25,24 @@ from repro.protocols.icc import ICCReplica
 from repro.runtime.context import ReplicaContext, Timer
 from repro.types.blocks import Block
 from repro.types.messages import Message
+
+
+def fast_vote_equivocators(protocol: Protocol) -> FrozenSet[int]:
+    """Signers ``protocol`` caught fast-vote equivocating, across rounds.
+
+    A correct Banyan replica broadcasts at most one fast vote per round
+    (Addition 3), so a signer whose fast votes support two different blocks
+    of one round has produced self-incriminating evidence.  The per-round
+    :class:`repro.core.fastpath.FastPathState` tallies support through the
+    shared quorum engine, which records exactly this; here it is collected
+    over every round the replica has seen.
+
+    Returns an empty set for protocols without a fast path.
+    """
+    culprits: Set[int] = set()
+    for state in getattr(protocol, "_fast", {}).values():
+        culprits |= state.equivocators()
+    return frozenset(culprits)
 
 
 class SilentReplica(Protocol):

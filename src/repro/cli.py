@@ -7,7 +7,9 @@ Usage::
     banyan-repro figure 6d --jobs 4 --seeds 5 --cache-dir .banyan-cache
     banyan-repro run --protocol banyan --n 19 --f 6 --p 1 --payload 400000
     banyan-repro run --n 19 --f 6 --transport contended --uplink-mbps 50
+    banyan-repro run --n 19 --f 6 --compute crypto --compute-scale 4
     banyan-repro figure uplink --seeds 3 --jobs 4
+    banyan-repro figure crypto --jobs 4
     banyan-repro workload saturation --rates 10,30,60,120 --jobs 4
     banyan-repro workload flash-crowd --burst-rate 250
     banyan-repro list
@@ -34,6 +36,7 @@ from repro.eval.runner import ProgressEvent
 from repro.eval.table1 import table1_rows
 from repro.net.topology import TOPOLOGY_FACTORIES
 from repro.net.transport import available_transports
+from repro.runtime.compute import available_compute_models
 from repro.protocols.base import ProtocolParams
 from repro.protocols.registry import available_protocols
 
@@ -46,6 +49,7 @@ _FIGURES = {
     "ablation-p": scenarios.ablation_p_sweep,
     "ablation-stragglers": scenarios.ablation_stragglers,
     "uplink": scenarios.figure_uplink_contention,
+    "crypto": scenarios.figure_crypto_bound,
 }
 
 _WORKLOADS = {
@@ -117,6 +121,13 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "contended transport (default: 1000)")
     run_parser.add_argument("--relays", type=int, default=None,
                             help="relay fan-out for the relay transport (default: 2)")
+    run_parser.add_argument("--compute", choices=available_compute_models(),
+                            default="zero",
+                            help="replica compute model (default: zero — "
+                                 "message handling is free)")
+    run_parser.add_argument("--compute-scale", type=float, default=None,
+                            help="cost multiplier for the crypto compute "
+                                 "model (default: 1.0)")
     _add_runner_arguments(run_parser)
 
     workload_parser = subparsers.add_parser(
@@ -201,11 +212,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("banyan-repro run: error: --relays applies only to "
               "--transport relay", file=sys.stderr)
         return 2
+    if args.compute_scale is not None and args.compute == "zero":
+        print("banyan-repro run: error: --compute-scale applies only to "
+              "--compute crypto", file=sys.stderr)
+        return 2
     spec = ExperimentSpec(protocol=args.protocol, params=params,
                           topology=args.topology, duration=args.duration,
                           seed=args.seed, transport=args.transport,
                           uplink_mbps=args.uplink_mbps,
-                          relays=args.relays if args.relays is not None else 2)
+                          relays=args.relays if args.relays is not None else 2,
+                          compute=args.compute,
+                          compute_scale=(args.compute_scale
+                                         if args.compute_scale is not None else 1.0))
     plan = ExperimentPlan(name="run", title="custom experiment",
                           specs=[spec]).with_replications(args.seeds)
     runner = _runner_kwargs(args)

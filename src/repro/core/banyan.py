@@ -14,7 +14,9 @@ paper, the implementation is expressed as the set of changes applied to
   together with an unlock proof (``_broadcast_round_certificates``).
 * **Addition 2** — proposals carry the parent's notarization and unlock
   proof, and rank-0 proposals carry the proposer's own fast vote
-  (``_make_proposal`` / ``_after_propose``).
+  (the ``_parent_unlock_proof`` / ``_proposal_fast_vote`` /
+  ``_relay_fast_vote`` attachment hooks of the shared ICC proposal/relay
+  builders, plus ``_after_propose``).
 * **Addition 3** — the first notarization vote of a round is accompanied by
   a fast vote for the same block (``_votes_for_block``).
 * **Addition 4** — a rank-0 block that gathers ``n - p`` fast votes is
@@ -132,21 +134,25 @@ class BanyanReplica(ICCReplica):
     # Addition 2: proposals carry unlock proofs and the leader's fast vote
     # ------------------------------------------------------------------ #
 
-    def _make_proposal(self, round_k: int, block: Block, parent: Block) -> BlockProposal:
-        parent_proof = None
-        if not parent.is_genesis():
-            parent_proof = self._fast_state(parent.round).build_unlock_proof(
-                parent.round, parent.id
-            )
-        fast_vote = None
-        if block.rank == 0:
-            fast_vote = self._make_fast_vote(round_k, block.id)
-        return BlockProposal(
-            block=block,
-            parent_notarization=self._notarization_for(parent),
-            parent_unlock_proof=parent_proof,
-            fast_vote=fast_vote,
+    def _parent_unlock_proof(self, parent: Optional[Block]) -> Optional[UnlockProof]:
+        """Proposals and relays carry the parent's unlock proof (Addition 2)."""
+        if parent is None or parent.is_genesis():
+            return None
+        return self._fast_state(parent.round).build_unlock_proof(
+            parent.round, parent.id
         )
+
+    def _proposal_fast_vote(self, round_k: int, block: Block) -> Optional[FastVote]:
+        """Rank-0 proposals carry the proposer's own fast vote (Addition 2)."""
+        if block.rank == 0:
+            return self._make_fast_vote(round_k, block.id)
+        return None
+
+    def _relay_fast_vote(self, round_k: int, block: Block) -> Optional[FastVote]:
+        """Preserve the proposer's fast vote so a relayed block stays valid."""
+        if block.rank == 0 and block.id in self._proposer_fast_vote_seen:
+            return FastVote(round=round_k, block_id=block.id, voter=block.proposer)
+        return None
 
     def _after_propose(self, ctx: ReplicaContext, round_k: int, block: Block) -> None:
         """A rank-0 proposer has broadcast its fast vote along with the block."""
@@ -189,26 +195,6 @@ class BanyanReplica(ICCReplica):
         super()._handle_proposal(ctx, sender, proposal)
         if proposal.fast_vote is not None and proposal.fast_vote.kind is VoteKind.FAST:
             self._handle_fast_vote(ctx, proposal.fast_vote)
-
-    def _relay_message(self, round_k: int, block: Block) -> BlockProposal:
-        """Forward the block together with the certificates Banyan requires."""
-        parent = self.tree.get(block.parent_id) if block.parent_id else None
-        parent_proof = None
-        if parent is not None and not parent.is_genesis():
-            parent_proof = self._fast_state(parent.round).build_unlock_proof(
-                parent.round, parent.id
-            )
-        fast_vote = None
-        if block.rank == 0 and block.id in self._proposer_fast_vote_seen:
-            # Preserve the proposer's fast vote so the relayed block stays valid.
-            fast_vote = FastVote(round=round_k, block_id=block.id, voter=block.proposer)
-        return BlockProposal(
-            block=block,
-            parent_notarization=self._notarization_for(parent) if parent else None,
-            parent_unlock_proof=parent_proof,
-            fast_vote=fast_vote,
-            relayed_by=self.replica_id,
-        )
 
     # ------------------------------------------------------------------ #
     # Addition 3: the first notarization vote carries a fast vote

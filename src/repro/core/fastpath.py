@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.smr.quorum import QuorumTracker
 from repro.types.blocks import BlockId
 from repro.types.certificates import UnlockProof
 
@@ -50,8 +51,11 @@ class FastPathState:
             raise ValueError("thresholds must be positive")
         self.unlock_threshold = unlock_threshold
         self.fast_quorum = fast_quorum
-        #: Fast-vote support per block id (votes may precede the block).
-        self._support: Dict[BlockId, Set[int]] = {}
+        #: Fast-vote support per block id (votes may precede the block),
+        #: tallied by the shared quorum engine: duplicates are suppressed
+        #: and a signer fast-voting for two blocks is recorded as
+        #: equivocation evidence.
+        self._support = QuorumTracker(fast_quorum)
         #: Rank of each *received* block (only received blocks participate in
         #: the unlock conditions, since their rank must be known).
         self._block_ranks: Dict[BlockId, int] = {}
@@ -68,12 +72,12 @@ class FastPathState:
 
     def record_fast_vote(self, block_id: BlockId, voter: int) -> None:
         """Register a fast vote from ``voter`` for ``block_id``."""
-        self._support.setdefault(block_id, set()).add(voter)
+        self._support.add_vote(block_id, voter)
 
     def merge_unlock_proof(self, proof: UnlockProof) -> None:
         """Merge the voter sets carried by an unlock proof (Addition 1/2)."""
         for block_id, voters in proof.votes_by_block:
-            self._support.setdefault(block_id, set()).update(voters)
+            self._support.add_voters(block_id, voters)
 
     # ------------------------------------------------------------------ #
     # Queries (Definitions 7.1 – 7.5)
@@ -81,14 +85,23 @@ class FastPathState:
 
     def support(self, block_id: BlockId) -> FrozenSet[int]:
         """``supp(b)``: replicas that fast-voted for ``block_id``."""
-        return frozenset(self._support.get(block_id, set()))
+        return self._support.voters(block_id)
 
     def support_of(self, block_ids: Iterable[BlockId]) -> FrozenSet[int]:
         """``supp(B)``: distinct replicas that fast-voted for any block in ``B``."""
         voters: Set[int] = set()
         for block_id in block_ids:
-            voters |= self._support.get(block_id, set())
+            voters |= self._support.voters(block_id)
         return frozenset(voters)
+
+    def equivocators(self) -> FrozenSet[int]:
+        """Signers whose fast votes supported more than one block this round.
+
+        An honest replica fast-votes at most once per round, so any replica
+        in this set has produced cryptographic evidence of misbehaviour —
+        the seam adversary analyses and the Byzantine tests use.
+        """
+        return self._support.equivocators()
 
     def received_blocks(self) -> List[BlockId]:
         """Blocks of the round that have been received (rank known)."""
@@ -107,7 +120,7 @@ class FastPathState:
         rank_zero = self.rank_zero_blocks()
         if not rank_zero:
             return None
-        return max(rank_zero, key=lambda bid: (len(self._support.get(bid, set())), bid))
+        return max(rank_zero, key=lambda bid: (self._support.count(bid), bid))
 
     def non_max_blocks(self) -> List[BlockId]:
         """``nonMaxBlocks(k)``: received blocks excluding ``max(k)``."""
@@ -128,7 +141,7 @@ class FastPathState:
         non_leader_support = self.support_of(self.non_leader_blocks())
         unlocked: Set[BlockId] = set()
         for block_id in self._block_ranks:
-            combined = set(self._support.get(block_id, set())) | set(non_leader_support)
+            combined = set(self._support.voters(block_id)) | set(non_leader_support)
             if len(combined) > self.unlock_threshold:
                 unlocked.add(block_id)
         if not self._all_unlocked:
@@ -143,7 +156,7 @@ class FastPathState:
         return [
             block_id
             for block_id in self.rank_zero_blocks()
-            if len(self._support.get(block_id, set())) >= self.fast_quorum
+            if self._support.reached(block_id)
         ]
 
     # ------------------------------------------------------------------ #
@@ -153,6 +166,7 @@ class FastPathState:
     def build_unlock_proof(self, round: int, block_id: BlockId) -> UnlockProof:
         """Build an unlock proof from every fast vote seen this round."""
         ordered: Tuple[Tuple[BlockId, FrozenSet[int]], ...] = tuple(
-            sorted((bid, frozenset(voters)) for bid, voters in self._support.items() if voters)
+            sorted((bid, self._support.voters(bid)) for bid in self._support.blocks()
+                   if self._support.count(bid))
         )
         return UnlockProof(round=round, block_id=block_id, votes_by_block=ordered)

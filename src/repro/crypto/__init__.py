@@ -15,14 +15,16 @@ stand-ins for those primitives:
 * :mod:`repro.crypto.aggregate` — aggregate ("BLS-like") multi-signatures:
   a container of individual signature shares that verifies each share and
   tracks the signer set, mirroring how the paper combines notarization /
-  fast / finalization votes into certificates.
+  fast / finalization votes into certificates.  Verification is memoized
+  per registry and :func:`repro.crypto.aggregate.verify_many` batches
+  repeated certificate checks.
 
 The substitution is documented in DESIGN.md: the protocol only needs
 unforgeable, attributable votes and the ability to combine them; the exact
 pairing-based construction is irrelevant to the reproduced behaviour.
 """
 
-from repro.crypto.aggregate import AggregateSignature, AggregationError
+from repro.crypto.aggregate import AggregateSignature, AggregationError, verify_many
 from repro.crypto.hashing import digest, hash_hex
 from repro.crypto.keys import KeyPair, KeyRegistry, generate_keypair
 from repro.crypto.signatures import Signature, SignatureError, sign, verify
@@ -39,4 +41,5 @@ __all__ = [
     "hash_hex",
     "sign",
     "verify",
+    "verify_many",
 ]

@@ -18,8 +18,9 @@ simulation keeps the individual tags.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterable, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Tuple
 
+from repro.crypto.hashing import digest
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import Signature, verify
 
@@ -83,11 +84,63 @@ class AggregateSignature:
         return AggregateSignature.from_shares([s for _, s in self.shares] + [share])
 
     def verify(self, message: Any, registry: KeyRegistry) -> bool:
-        """Verify every constituent share against ``message`` and the PKI."""
+        """Verify every constituent share against ``message`` and the PKI.
+
+        Verification is memoized per registry, keyed by ``(message digest,
+        share tuple)``: protocols re-verify the same certificate on every
+        receipt (e.g. ICC's ``_handle_certificate``), and a repeat check
+        pays one message digest instead of one HMAC per share.  The memo
+        lives on the registry and is invalidated when its key set changes.
+        """
         if not self.shares:
             return False
-        return all(verify(message, share, registry) for _, share in self.shares)
+        return self._verify_digest(message, digest(message), registry)
+
+    def _verify_digest(self, message: Any, message_digest: bytes,
+                       registry: KeyRegistry) -> bool:
+        """Memoized core of :meth:`verify` (the digest is already computed)."""
+        cache = registry.aggregate_verify_cache()
+        key = (message_digest, self.shares)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        result = all(
+            share.message_digest == message_digest and verify(message, share, registry)
+            for _, share in self.shares
+        )
+        cache[key] = result
+        return result
 
     def verify_threshold(self, message: Any, registry: KeyRegistry, threshold: int) -> bool:
         """Verify the aggregate and check it carries at least ``threshold`` signers."""
         return len(self) >= threshold and self.verify(message, registry)
+
+
+def verify_many(pairs: Iterable[Tuple[Any, AggregateSignature]],
+                registry: KeyRegistry) -> List[bool]:
+    """Batch-verify ``(message, aggregate)`` pairs against one PKI.
+
+    Each *distinct* message is digested once (repeated certificate checks
+    over the same payload share the digest), and every verification goes
+    through the registry's memo, so a batch dominated by repeats costs a
+    dictionary lookup per pair instead of per-share HMAC work.  Unhashable
+    messages fall back to digesting per occurrence.
+
+    Returns:
+        One boolean per pair, in input order.
+    """
+    digests: Dict[Any, bytes] = {}
+    outcomes: List[bool] = []
+    for message, aggregate in pairs:
+        if not aggregate.shares:
+            outcomes.append(False)
+            continue
+        try:
+            message_digest = digests.get(message)
+            if message_digest is None:
+                message_digest = digest(message)
+                digests[message] = message_digest
+        except TypeError:
+            message_digest = digest(message)
+        outcomes.append(aggregate._verify_digest(message, message_digest, registry))
+    return outcomes

@@ -55,6 +55,10 @@ class KeyRegistry:
 
     def __init__(self, keypairs: Optional[Iterable[KeyPair]] = None) -> None:
         self._keys: Dict[int, KeyPair] = {}
+        #: Memo of aggregate-signature verifications against this PKI,
+        #: keyed by ``(message_digest, share_tuple)`` — see
+        #: :meth:`repro.crypto.aggregate.AggregateSignature.verify`.
+        self._aggregate_verify_cache: Dict[tuple, bool] = {}
         for keypair in keypairs or ():
             self.register(keypair)
 
@@ -64,8 +68,18 @@ class KeyRegistry:
         return cls(generate_keypair(i, seed) for i in range(n))
 
     def register(self, keypair: KeyPair) -> None:
-        """Add ``keypair`` to the registry, replacing any existing entry."""
+        """Add ``keypair`` to the registry, replacing any existing entry.
+
+        Registering (or replacing) a key invalidates the aggregate
+        verification memo: a share that failed against the old key set may
+        verify against the new one.
+        """
         self._keys[keypair.replica_id] = keypair
+        self._aggregate_verify_cache.clear()
+
+    def aggregate_verify_cache(self) -> Dict[tuple, bool]:
+        """The registry's aggregate-signature verification memo."""
+        return self._aggregate_verify_cache
 
     def keypair(self, replica_id: int) -> KeyPair:
         """Return the key pair of ``replica_id``.

@@ -74,6 +74,13 @@ class ExperimentConfig:
             by the ``"contended"`` transport (``None`` selects its
             1 Gbit/s default).
         relays: relay fan-out of the ``"relay"`` transport.
+        compute: replica compute model, a name registered in
+            :data:`repro.runtime.compute.COMPUTE_MODELS` (``"zero"``,
+            ``"crypto"``).  Non-zero models charge per-message CPU cost
+            and queue deliveries at busy replicas; the result's metrics
+            then carry per-replica busy fractions and queue waits.
+        compute_scale: cost multiplier for the ``"crypto"`` compute model
+            (``2.0`` models cores half as fast).
     """
 
     protocol: str
@@ -92,6 +99,8 @@ class ExperimentConfig:
     transport: str = "direct"
     uplink_mbps: Optional[float] = None
     relays: int = 2
+    compute: str = "zero"
+    compute_scale: float = 1.0
 
     def resolved_topology(self) -> Topology:
         """The topology to use (default: 4 global datacenters)."""
@@ -138,6 +147,7 @@ class ExperimentConfig:
             "straggler_delay": self.straggler_delay,
         }
         data.update(_transport_fields(self.transport, self.uplink_mbps, self.relays))
+        data.update(_compute_fields(self.compute, self.compute_scale))
         return data
 
     @classmethod
@@ -167,6 +177,8 @@ class ExperimentConfig:
                 if data.get("uplink_mbps") is not None else None
             ),
             relays=int(data.get("relays", 2)),
+            compute=str(data.get("compute", "zero")),
+            compute_scale=float(data.get("compute_scale", 1.0)),
         )
 
 
@@ -189,6 +201,22 @@ def _transport_fields(transport: str, uplink_mbps: Optional[float],
         fields["uplink_mbps"] = uplink_mbps
     if transport == "relay" and relays != 2:
         fields["relays"] = relays
+    return fields
+
+
+def _compute_fields(compute: str, compute_scale: float) -> Dict[str, object]:
+    """The non-default compute fields of a config/spec dictionary.
+
+    Mirrors :func:`_transport_fields`: default values are omitted so
+    serialised forms — and the content hashes and cached results derived
+    from them — of pre-compute configs are unchanged, and a scale the
+    zero model never reads is omitted too.
+    """
+    fields: Dict[str, object] = {}
+    if compute != "zero":
+        fields["compute"] = compute
+        if compute_scale != 1.0:
+            fields["compute_scale"] = compute_scale
     return fields
 
 
@@ -231,6 +259,11 @@ class ExperimentResult:
             "fast_path_ratio": round(summary["fast_path_ratio"], 3),
             "committed_blocks": int(summary["committed_blocks"]),
         }
+        if self.metrics.compute_busy_fractions:
+            row["busy_frac"] = round(self.metrics.max_busy_fraction, 3)
+            row["cpu_wait_ms"] = round(
+                self.metrics.total_compute_queue_wait_s * 1000, 1
+            )
         if self.workload is not None:
             row.update(self.workload_row())
         return row
@@ -297,6 +330,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             if config.uplink_mbps is not None else None
         ),
         relays=config.relays,
+        compute=config.compute,
+        compute_scale=config.compute_scale,
     )
     pool = None
     if config.workload is not None:
@@ -337,6 +372,18 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         duration=max(config.duration - config.warmup, 1e-9),
         proposal_times=proposal_times,
     )
+    compute_stats = simulation.compute_stats()
+    busy_by_replica = compute_stats.get("busy_s")
+    if busy_by_replica:
+        # Busy fractions are over the full run (the CPU is busy during the
+        # warm-up too); queue waits are totals per replica.
+        metrics.compute_busy_fractions = {
+            replica_id: busy / config.duration if config.duration > 0 else 0.0
+            for replica_id, busy in busy_by_replica.items()
+        }
+    waits = compute_stats.get("queue_wait_s")
+    if waits:
+        metrics.compute_queue_wait_s = dict(waits)
     return ExperimentResult(
         config=config,
         metrics=metrics,

@@ -27,7 +27,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.eval.experiment import ExperimentConfig, _transport_fields
+from repro.eval.experiment import ExperimentConfig, _compute_fields, _transport_fields
 from repro.net.faults import FaultPlan
 from repro.net.topology import (
     Topology,
@@ -91,6 +91,8 @@ class ExperimentSpec:
             ``"contended"``, ``"relay"``).
         uplink_mbps: NIC capacity in Mbit/s for the contended transport.
         relays: relay fan-out for the relay transport.
+        compute: replica compute-model name (``"zero"``, ``"crypto"``).
+        compute_scale: cost multiplier for the crypto compute model.
         series: figure series this cell belongs to (defaults to ``label``).
         cell: identifier of the cell within its series (e.g.
             ``"payload=400000"``); replications of one cell share it.
@@ -113,6 +115,8 @@ class ExperimentSpec:
     transport: str = "direct"
     uplink_mbps: Optional[float] = None
     relays: int = 2
+    compute: str = "zero"
+    compute_scale: float = 1.0
     series: Optional[str] = None
     cell: str = ""
     replication: int = 0
@@ -151,6 +155,8 @@ class ExperimentSpec:
             transport=self.transport,
             uplink_mbps=self.uplink_mbps,
             relays=self.relays,
+            compute=self.compute,
+            compute_scale=self.compute_scale,
         )
 
     @classmethod
@@ -188,6 +194,8 @@ class ExperimentSpec:
             transport=config.transport,
             uplink_mbps=config.uplink_mbps,
             relays=config.relays,
+            compute=config.compute,
+            compute_scale=config.compute_scale,
             **meta,
         )
 
@@ -224,6 +232,7 @@ class ExperimentSpec:
             "axis": dict(self.axis),
         }
         data.update(_transport_fields(self.transport, self.uplink_mbps, self.relays))
+        data.update(_compute_fields(self.compute, self.compute_scale))
         return data
 
     @classmethod
@@ -249,6 +258,8 @@ class ExperimentSpec:
                 if data.get("uplink_mbps") is not None else None
             ),
             relays=int(data.get("relays", 2)),
+            compute=str(data.get("compute", "zero")),
+            compute_scale=float(data.get("compute_scale", 1.0)),
             series=data.get("series"),
             cell=str(data.get("cell", "")),
             replication=int(data.get("replication", 0)),

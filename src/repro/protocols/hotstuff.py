@@ -33,6 +33,7 @@ from repro.crypto.keys import KeyRegistry
 from repro.protocols.base import Protocol, ProtocolParams
 from repro.runtime.context import ReplicaContext, Timer
 from repro.smr.mempool import PayloadSource
+from repro.smr.quorum import CertificateCollector, QuorumTracker
 from repro.types.blocks import Block, BlockId
 from repro.types.certificates import Notarization
 from repro.types.messages import BlockProposal, Message, VoteMessage
@@ -81,8 +82,8 @@ class HotStuffReplica(Protocol):
         self._qc_by_block: Dict[BlockId, Notarization] = {}
         self.high_qc: Optional[Notarization] = None
         self.locked_qc: Optional[Notarization] = None
-        #: Votes collected while acting as (next-view) leader: view → block → voters.
-        self._votes: Dict[int, Dict[BlockId, Set[int]]] = {}
+        #: Vote tallies per view, shared quorum engine.
+        self.votes = CertificateCollector()
         #: New-view senders per view (pacemaker quorum).
         self._new_views: Dict[int, Set[int]] = {}
         self._proposed_views: Set[int] = set()
@@ -96,6 +97,10 @@ class HotStuffReplica(Protocol):
     def quorum(self) -> int:
         """Votes needed to form a QC (``n - f``)."""
         return self.params.bft_quorum
+
+    def _vote_tracker(self, view: int) -> QuorumTracker:
+        """The view's QC-vote tally (created on first use)."""
+        return self.votes.tracker(view, VoteKind.NOTARIZATION, self.quorum)
 
     # ------------------------------------------------------------------ #
     # Protocol interface
@@ -239,21 +244,19 @@ class HotStuffReplica(Protocol):
     def _handle_vote(self, ctx: ReplicaContext, vote: Vote) -> None:
         if vote.kind is not VoteKind.NOTARIZATION:
             return
-        votes_for_view = self._votes.setdefault(vote.round, {})
-        voters = votes_for_view.setdefault(vote.block_id, set())
-        voters.add(vote.voter)
+        self._vote_tracker(vote.round).add_vote(vote.block_id, vote.voter)
         self._try_form_qc(ctx, vote.round, vote.block_id)
 
     def _recheck_votes(self, ctx: ReplicaContext, block: Block) -> None:
         """A QC may have been waiting for this block to arrive."""
-        if block.id in self._votes.get(block.round, {}):
+        if self._vote_tracker(block.round).count(block.id):
             self._try_form_qc(ctx, block.round, block.id)
 
     def _try_form_qc(self, ctx: ReplicaContext, view: int, block_id: BlockId) -> None:
-        voters = self._votes.get(view, {}).get(block_id, set())
-        if len(voters) < self.quorum or block_id not in self.tree:
+        tracker = self._vote_tracker(view)
+        if not tracker.reached(block_id) or block_id not in self.tree:
             return
-        qc = Notarization(round=view, block_id=block_id, voters=frozenset(voters))
+        qc = Notarization(round=view, block_id=block_id, voters=tracker.voters(block_id))
         self._qc_by_block[block_id] = qc
         self._update_high_qc(ctx, qc)
         next_view = view + 1

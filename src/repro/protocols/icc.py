@@ -33,15 +33,21 @@ from repro.crypto.signatures import sign
 from repro.protocols.base import Protocol, ProtocolParams
 from repro.runtime.context import ReplicaContext, Timer
 from repro.smr.mempool import PayloadSource
+from repro.smr.quorum import CertificateCollector, QuorumTracker
 from repro.types.blocks import Block, BlockId
-from repro.types.certificates import Finalization, Notarization
+from repro.types.certificates import Finalization, Notarization, UnlockProof
 from repro.types.messages import BlockProposal, CertificateMessage, Message, VoteMessage
 from repro.types.votes import FinalizationVote, NotarizationVote, Vote, VoteKind
 
 
 @dataclass
 class _RoundState:
-    """Per-round bookkeeping for ICC."""
+    """Per-round bookkeeping for ICC.
+
+    Vote tallies live in the replica-wide
+    :class:`repro.smr.quorum.CertificateCollector`; this state carries only
+    the round-lifecycle flags.
+    """
 
     t0: float = 0.0
     entered: bool = False
@@ -50,10 +56,6 @@ class _RoundState:
     finalization_vote_sent: bool = False
     #: Block ids this replica sent a notarization vote for (the set ``N``).
     notarization_voted: Set[BlockId] = field(default_factory=set)
-    #: Received notarization votes: block id → set of voters.
-    notarization_votes: Dict[BlockId, Set[int]] = field(default_factory=dict)
-    #: Received finalization votes: block id → set of voters.
-    finalization_votes: Dict[BlockId, Set[int]] = field(default_factory=dict)
     #: Block ids whose notarization certificate we have broadcast already.
     notarization_broadcast: Set[BlockId] = field(default_factory=set)
     #: Block ids this replica relayed (tip forwarding).
@@ -89,6 +91,8 @@ class ICCReplica(Protocol):
         self.chain = FinalizedChain()
         self.current_round = 0
         self.k_max = 0
+        #: Shared vote tallies: one tracker per (round, vote kind).
+        self.votes = CertificateCollector()
         self._rounds: Dict[int, _RoundState] = {}
         #: Blocks waiting for their parent to arrive, keyed by parent id.
         self._orphans: Dict[BlockId, List[Block]] = {}
@@ -120,6 +124,16 @@ class ICCReplica(Protocol):
     def finalization_quorum(self) -> int:
         """Votes needed to SP-finalize a block (``n - f`` in ICC)."""
         return self.params.icc_quorum
+
+    def _notarization_tracker(self, round_k: int) -> QuorumTracker:
+        """The round's notarization tally (created on first use)."""
+        return self.votes.tracker(round_k, VoteKind.NOTARIZATION,
+                                  self.notarization_quorum)
+
+    def _finalization_tracker(self, round_k: int) -> QuorumTracker:
+        """The round's finalization tally (created on first use)."""
+        return self.votes.tracker(round_k, VoteKind.FINALIZATION,
+                                  self.finalization_quorum)
 
     # ------------------------------------------------------------------ #
     # Protocol interface
@@ -206,14 +220,28 @@ class ICCReplica(Protocol):
     def _make_proposal(self, round_k: int, block: Block, parent: Block) -> BlockProposal:
         """Build the proposal message for our own block.
 
-        ICC attaches the parent's notarization; Banyan additionally attaches
-        the parent's unlock proof and, for rank-0 proposals, the proposer's
-        own fast vote (Addition 2).
+        ICC attaches the parent's notarization; Banyan's hooks additionally
+        attach the parent's unlock proof and, for rank-0 proposals, the
+        proposer's own fast vote (Addition 2).
         """
         return BlockProposal(
             block=block,
             parent_notarization=self._notarization_for(parent),
+            parent_unlock_proof=self._parent_unlock_proof(parent),
+            fast_vote=self._proposal_fast_vote(round_k, block),
         )
+
+    def _parent_unlock_proof(self, parent: Optional[Block]) -> Optional[UnlockProof]:
+        """Unlock proof attached to proposals/relays (Banyan overrides)."""
+        return None
+
+    def _proposal_fast_vote(self, round_k: int, block: Block) -> Optional[Vote]:
+        """Fast vote attached to our own proposal (Banyan overrides)."""
+        return None
+
+    def _relay_fast_vote(self, round_k: int, block: Block) -> Optional[Vote]:
+        """Fast vote attached to a relayed proposal (Banyan overrides)."""
+        return None
 
     def _after_propose(self, ctx: ReplicaContext, round_k: int, block: Block) -> None:
         """Hook invoked after broadcasting our own proposal (no-op for ICC)."""
@@ -222,10 +250,10 @@ class ICCReplica(Protocol):
         """Build a notarization certificate for ``block`` from received votes."""
         if block.is_genesis() or not self.tree.is_notarized(block.id):
             return None
-        voters = self._round(block.round).notarization_votes.get(block.id, set())
+        voters = self._notarization_tracker(block.round).voters(block.id)
         if not voters:
             return None
-        return Notarization(round=block.round, block_id=block.id, voters=frozenset(voters))
+        return Notarization(round=block.round, block_id=block.id, voters=voters)
 
     # ------------------------------------------------------------------ #
     # Proposal handling
@@ -322,11 +350,18 @@ class ICCReplica(Protocol):
         self._try_advance(ctx, round_k)
 
     def _relay_message(self, round_k: int, block: Block) -> BlockProposal:
-        """The message used to forward someone else's block to the others."""
+        """The message used to forward someone else's block to the others.
+
+        Shared by ICC and Banyan: the protocols differ only in which
+        certificates/votes they attach, expressed through the
+        ``_parent_unlock_proof`` / ``_relay_fast_vote`` hooks.
+        """
         parent = self.tree.get(block.parent_id) if block.parent_id else None
         return BlockProposal(
             block=block,
             parent_notarization=self._notarization_for(parent) if parent else None,
+            parent_unlock_proof=self._parent_unlock_proof(parent) if parent else None,
+            fast_vote=self._relay_fast_vote(round_k, block),
             relayed_by=self.replica_id,
         )
 
@@ -353,12 +388,11 @@ class ICCReplica(Protocol):
         raise ValueError(f"unsupported vote kind for ICC: {kind}")
 
     def _handle_vote(self, ctx: ReplicaContext, vote: Vote) -> None:
-        state = self._round(vote.round)
         if vote.kind is VoteKind.NOTARIZATION:
-            state.notarization_votes.setdefault(vote.block_id, set()).add(vote.voter)
+            self._notarization_tracker(vote.round).add_vote(vote.block_id, vote.voter)
             self._try_notarizations(ctx, vote.round)
         elif vote.kind is VoteKind.FINALIZATION:
-            state.finalization_votes.setdefault(vote.block_id, set()).add(vote.voter)
+            self._finalization_tracker(vote.round).add_vote(vote.block_id, vote.voter)
             self._try_slow_finalization(ctx, vote.round, vote.block_id)
         elif vote.kind is VoteKind.FAST:
             self._handle_fast_vote(ctx, vote)
@@ -371,10 +405,7 @@ class ICCReplica(Protocol):
     # ------------------------------------------------------------------ #
 
     def _try_notarizations(self, ctx: ReplicaContext, round_k: int) -> None:
-        state = self._round(round_k)
-        for block_id, voters in list(state.notarization_votes.items()):
-            if len(voters) < self.notarization_quorum:
-                continue
+        for block_id in self._notarization_tracker(round_k).reached_blocks():
             if block_id not in self.tree or self.tree.is_notarized(block_id):
                 continue
             self.tree.mark_notarized(block_id)
@@ -386,9 +417,9 @@ class ICCReplica(Protocol):
         self._try_notarization_votes(ctx, round_k + 1)
 
     def _register_notarization(self, ctx: ReplicaContext, notarization: Notarization) -> None:
-        state = self._round(notarization.round)
-        voters = state.notarization_votes.setdefault(notarization.block_id, set())
-        voters |= notarization.voters
+        self._notarization_tracker(notarization.round).add_voters(
+            notarization.block_id, notarization.voters
+        )
         self._try_notarizations(ctx, notarization.round)
 
     # ------------------------------------------------------------------ #
@@ -441,9 +472,7 @@ class ICCReplica(Protocol):
     # ------------------------------------------------------------------ #
 
     def _try_slow_finalization(self, ctx: ReplicaContext, round_k: int, block_id: BlockId) -> None:
-        state = self._round(round_k)
-        voters = state.finalization_votes.get(block_id, set())
-        if len(voters) < self.finalization_quorum:
+        if not self._finalization_tracker(round_k).reached(block_id):
             return
         self._finalize(ctx, round_k, block_id, kind="slow")
 
@@ -456,9 +485,9 @@ class ICCReplica(Protocol):
                 self._register_notarization(ctx, certificate)
         elif isinstance(certificate, Finalization):
             if certificate.verify(None, self.finalization_quorum):
-                state = self._round(certificate.round)
-                voters = state.finalization_votes.setdefault(certificate.block_id, set())
-                voters |= certificate.voters
+                self._finalization_tracker(certificate.round).add_voters(
+                    certificate.block_id, certificate.voters
+                )
                 self._finalize(ctx, certificate.round, certificate.block_id, kind="slow")
 
     def _finalize(self, ctx: ReplicaContext, round_k: int, block_id: BlockId, kind: str) -> None:
@@ -490,11 +519,10 @@ class ICCReplica(Protocol):
 
     def _broadcast_finalization(self, ctx: ReplicaContext, round_k: int,
                                 block_id: BlockId, kind: str) -> None:
-        state = self._round(round_k)
-        voters = state.finalization_votes.get(block_id, set())
+        voters = self._finalization_tracker(round_k).voters(block_id)
         if not voters:
             return
-        finalization = Finalization(round=round_k, block_id=block_id, voters=frozenset(voters))
+        finalization = Finalization(round=round_k, block_id=block_id, voters=voters)
         ctx.broadcast(CertificateMessage(certificate=finalization, sender=self.replica_id))
 
     def _try_pending_finalizations(self, ctx: ReplicaContext) -> None:

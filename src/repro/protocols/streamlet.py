@@ -31,6 +31,7 @@ from repro.crypto.keys import KeyRegistry
 from repro.protocols.base import Protocol, ProtocolParams
 from repro.runtime.context import ReplicaContext, Timer
 from repro.smr.mempool import PayloadSource
+from repro.smr.quorum import CertificateCollector, QuorumTracker
 from repro.types.blocks import Block, BlockId
 from repro.types.messages import BlockProposal, Message, VoteMessage
 from repro.types.votes import NotarizationVote, Vote, VoteKind
@@ -62,8 +63,8 @@ class StreamletReplica(Protocol):
         self.chain = FinalizedChain()
         self.current_epoch = 0
         self.finalized_epoch = 0
-        #: Votes per block id.
-        self._votes: Dict[BlockId, Set[int]] = {}
+        #: Per-epoch vote tallies, shared quorum engine.
+        self.votes = CertificateCollector()
         #: Epochs in which this replica already voted.
         self._voted_epochs: Set[int] = set()
         self._proposed_epochs: Set[int] = set()
@@ -80,6 +81,10 @@ class StreamletReplica(Protocol):
     def quorum(self) -> int:
         """Streamlet notarizes with ``≥ 2n/3`` votes."""
         return math.ceil(2 * self.params.n / 3)
+
+    def _vote_tracker(self, epoch: int) -> QuorumTracker:
+        """The epoch's notarization-vote tally (created on first use)."""
+        return self.votes.tracker(epoch, VoteKind.NOTARIZATION, self.quorum)
 
     # ------------------------------------------------------------------ #
     # Protocol interface
@@ -171,7 +176,7 @@ class StreamletReplica(Protocol):
             return
         if block.id not in self.tree:
             self.tree.add_block(block)
-            self._try_notarize(ctx, block.id)
+            self._try_notarize(ctx, block.round, block.id)
         if block.round != self.current_epoch or block.round in self._voted_epochs:
             return
         parent = self.tree.block(block.parent_id)
@@ -184,13 +189,13 @@ class StreamletReplica(Protocol):
     def _handle_vote(self, ctx: ReplicaContext, vote: Vote) -> None:
         if vote.kind is not VoteKind.NOTARIZATION:
             return
-        self._votes.setdefault(vote.block_id, set()).add(vote.voter)
-        self._try_notarize(ctx, vote.block_id)
+        self._vote_tracker(vote.round).add_vote(vote.block_id, vote.voter)
+        self._try_notarize(ctx, vote.round, vote.block_id)
 
-    def _try_notarize(self, ctx: ReplicaContext, block_id: BlockId) -> None:
+    def _try_notarize(self, ctx: ReplicaContext, epoch: int, block_id: BlockId) -> None:
         if block_id not in self.tree or self.tree.is_notarized(block_id):
             return
-        if len(self._votes.get(block_id, set())) < self.quorum:
+        if not self._vote_tracker(epoch).reached(block_id):
             return
         self.tree.mark_notarized(block_id)
         block = self.tree.block(block_id)

@@ -8,18 +8,26 @@ Protocols in this repository are *sans-io* state machines (see
 * :mod:`repro.runtime.simulator` — a deterministic discrete-event simulator
   driving any set of protocol replicas over the network substrate; used by
   all tests and benchmarks;
+* :mod:`repro.runtime.compute` — pluggable replica compute models: what
+  message handling costs in CPU time (free by default; a crypto cost
+  table for CPU-bound regimes);
 * :mod:`repro.runtime.asyncio_runtime` — a real-time asyncio runtime with an
   in-memory delayed transport; used by the asyncio example to show the same
   protocol objects running under ``asyncio``.
 """
 
+from repro.runtime.compute import ComputeModel, CryptoCostCompute, CryptoCostTable, ZeroCompute
 from repro.runtime.context import ReplicaContext, Timer
 from repro.runtime.simulator import CommitRecord, NetworkConfig, Simulation
 
 __all__ = [
     "CommitRecord",
+    "ComputeModel",
+    "CryptoCostCompute",
+    "CryptoCostTable",
     "NetworkConfig",
     "ReplicaContext",
     "Simulation",
     "Timer",
+    "ZeroCompute",
 ]

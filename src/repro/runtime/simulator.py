@@ -22,6 +22,15 @@ default transport a message is delivered at::
 unless the fault plan drops it.  Crashed replicas neither send nor receive,
 and their pending timers never fire.
 
+Replica CPU time is owned by the :class:`repro.runtime.compute.ComputeModel`
+selected through :class:`NetworkConfig` (default:
+:class:`repro.runtime.compute.ZeroCompute`, which charges nothing and leaves
+the event loop untouched).  Under a non-trivial model each handled message
+occupies the receiving replica's serial core for the model's cost; a
+delivery that arrives while the core is busy is deferred to the core's free
+time — receive-side queueing, symmetric to the contended transport's
+sender-uplink queue.
+
 Besides replica-driven events, callers outside the replica set (e.g. the
 client workload in :mod:`repro.workload`) can inject work into the event
 queue with :meth:`Simulation.schedule_external`: the callback runs at the
@@ -42,6 +51,7 @@ from repro.net.bandwidth import BandwidthModel
 from repro.net.faults import FaultPlan
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.transport import Delivery, Transport, build_transport
+from repro.runtime.compute import ComputeModel, build_compute
 from repro.runtime.context import ReplicaContext, Timer
 from repro.types.blocks import Block
 from repro.types.messages import Message
@@ -63,6 +73,12 @@ class NetworkConfig:
         uplink_bytes_per_s: per-replica NIC capacity for the ``"contended"``
             transport (``None`` selects its 1 Gbit/s default).
         relays: relay fan-out for the ``"relay"`` transport.
+        compute: replica compute model — a registered name (``"zero"``,
+            ``"crypto"``; see :data:`repro.runtime.compute.COMPUTE_MODELS`)
+            or a ready :class:`repro.runtime.compute.ComputeModel` instance.
+            ``"zero"`` (the default) charges nothing and leaves executions
+            byte-for-byte identical to the pre-compute simulator.
+        compute_scale: cost multiplier for the ``"crypto"`` compute model.
     """
 
     latency: LatencyModel = field(default_factory=lambda: ConstantLatency(0.05))
@@ -72,6 +88,8 @@ class NetworkConfig:
     transport: Union[str, Transport] = "direct"
     uplink_bytes_per_s: Optional[float] = None
     relays: int = 2
+    compute: Union[str, ComputeModel] = "zero"
+    compute_scale: float = 1.0
 
 
 @dataclass(frozen=True)
@@ -98,6 +116,13 @@ _EXTERNAL_TARGET = -1
 #: :meth:`Simulation.add_delivery_listener`: ``(sender, receiver, message,
 #: send_time, delivery_or_None)`` — ``None`` marks a dropped copy.
 DeliveryListener = Callable[[int, int, Message, float, Optional[Delivery]], None]
+
+#: Signature of compute listeners registered via
+#: :meth:`Simulation.add_compute_listener`: ``(kind, replica, time, seconds,
+#: message_or_None)`` — ``kind`` is ``"cpu-wait"`` (a delivery deferred
+#: behind the busy core; ``message`` is ``None``) or ``"cpu-busy"`` (a
+#: handled message charged ``seconds`` of core time).
+ComputeListener = Callable[[str, int, float, float, Optional[Message]], None]
 
 
 class _SimContext(ReplicaContext):
@@ -171,6 +196,14 @@ class Simulation:
             uplink_bytes_per_s=self.network.uplink_bytes_per_s,
             relays=self.network.relays,
         )
+        self._compute: ComputeModel = build_compute(
+            self.network.compute, scale=self.network.compute_scale
+        )
+        # Hoisted once: the zero model's per-event path is skipped entirely,
+        # so the hot loop pays at most one ``is not None`` check per message.
+        self._compute_cost = (
+            None if self._compute.trivial else self._compute.message_cost
+        )
         self.now: float = 0.0
         self._queue: List[tuple] = []
         self._seq = itertools.count()
@@ -184,6 +217,7 @@ class Simulation:
         self._commits: Dict[int, List[CommitRecord]] = {r: [] for r in self.replica_ids}
         self._commit_listeners: List[Callable[[CommitRecord], None]] = []
         self._delivery_listeners: List[DeliveryListener] = []
+        self._compute_listeners: List[ComputeListener] = []
         self._messages_sent = 0
         self._messages_delivered = 0
         self._messages_dropped = 0
@@ -227,6 +261,26 @@ class Simulation:
     def transport_stats(self) -> Dict[str, object]:
         """Transport-specific counters (wire bytes, uplink queueing, ...)."""
         return self._transport.stats()
+
+    @property
+    def compute(self) -> ComputeModel:
+        """The compute model charging this simulation's message handling."""
+        return self._compute
+
+    def compute_stats(self) -> Dict[str, object]:
+        """Compute-model counters (per-replica busy/wait time, deferrals)."""
+        return self._compute.stats()
+
+    def add_compute_listener(self, listener: ComputeListener) -> None:
+        """Register a callback invoked on every compute charge or deferral.
+
+        The listener receives ``(kind, replica, time, seconds, message)``
+        with ``kind`` ``"cpu-busy"`` or ``"cpu-wait"`` — the seam used by
+        :func:`repro.runtime.trace.attach_compute_trace`.  Listeners are
+        only consulted under a non-trivial compute model, so they add no
+        overhead to default (zero-compute) runs.
+        """
+        self._compute_listeners.append(listener)
 
     def protocol(self, replica_id: int) -> Any:
         """Return the protocol instance of ``replica_id``."""
@@ -323,6 +377,17 @@ class Simulation:
                     continue
             if time_ > self.now:
                 self.now = time_
+            if kind == "message" and self._compute_cost is not None:
+                free_at = self._compute.busy_until.get(target, 0.0)
+                if free_at > time_:
+                    # Busy core: defer the delivery to the replica's free time.
+                    self._compute.record_wait(target, free_at - time_)
+                    if self._compute_listeners:
+                        self._notify_compute("cpu-wait", target, time_,
+                                             free_at - time_, None)
+                    heapq.heappush(queue, (free_at, next(self._seq), "message",
+                                           target, payload))
+                    continue
             self._dispatch(kind, target, payload)
             return True
         return False
@@ -345,6 +410,7 @@ class Simulation:
             self.start()
         queue = self._queue
         heappop = heapq.heappop
+        heappush = heapq.heappush
         pending_timers = self._pending_timers
         cancelled_timers = self._cancelled_timers
         protocols = self._protocols
@@ -353,6 +419,12 @@ class Simulation:
         # A fault plan without crash entries can never report a crashed
         # replica, so the per-event check is dropped entirely.
         is_crashed = faults.is_crashed if faults.crash_schedule.crash_times else None
+        # Under the trivial (zero) compute model the whole compute path is
+        # skipped; the hot loop pays one ``is not None`` check per message.
+        compute = self._compute
+        message_cost = self._compute_cost
+        busy_until = compute.busy_until if message_cost is not None else None
+        seq = self._seq
         processed = 0
         while queue:
             if max_events is not None and processed >= max_events:
@@ -360,7 +432,8 @@ class Simulation:
             if queue[0][0] > until:
                 break
             # Pop until one dispatchable event is processed (cancelled
-            # timers are skipped without counting against ``max_events``).
+            # timers and compute-deferred deliveries are skipped without
+            # counting against ``max_events``).
             # Keep the pop/skip/dispatch semantics in sync with step().
             while queue:
                 time_, _seq, kind, target, payload = heappop(queue)
@@ -373,12 +446,35 @@ class Simulation:
                 if time_ > self.now:
                     self.now = time_
                 if kind == "message":
+                    if message_cost is not None:
+                        free_at = busy_until.get(target, 0.0)
+                        if free_at > time_:
+                            # Busy core: the delivery queues on the replica's
+                            # CPU timeline and is retried once it frees up.
+                            # Unlike the cancelled-timer skip, this re-enters
+                            # the outer loop so the ``until`` horizon is
+                            # re-checked — a deferred delivery must not drag
+                            # later events past the measurement window.
+                            compute.record_wait(target, free_at - time_)
+                            if self._compute_listeners:
+                                self._notify_compute("cpu-wait", target, time_,
+                                                     free_at - time_, None)
+                            heappush(queue, (free_at, next(seq), "message",
+                                             target, payload))
+                            break
                     if is_crashed is not None and is_crashed(target, self.now):
                         self._messages_dropped += 1
                     else:
                         sender, message = payload
                         self._messages_delivered += 1
                         protocols[target].on_message(contexts[target], sender, message)
+                        if message_cost is not None:
+                            cost = message_cost(target, sender, message)
+                            if cost > 0.0:
+                                compute.record_busy(target, self.now, cost)
+                                if self._compute_listeners:
+                                    self._notify_compute("cpu-busy", target,
+                                                         self.now, cost, message)
                 elif kind == "timer":
                     if is_crashed is None or not is_crashed(target, self.now):
                         protocols[target].on_timer(contexts[target], payload)
@@ -482,7 +578,19 @@ class Simulation:
             sender, message = payload
             self._messages_delivered += 1
             protocol.on_message(context, sender, message)
+            if self._compute_cost is not None:
+                cost = self._compute_cost(target, sender, message)
+                if cost > 0.0:
+                    self._compute.record_busy(target, self.now, cost)
+                    if self._compute_listeners:
+                        self._notify_compute("cpu-busy", target, self.now,
+                                             cost, message)
         elif kind == "timer":
             protocol.on_timer(context, payload)
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown event kind {kind!r}")
+
+    def _notify_compute(self, kind: str, replica_id: int, time_: float,
+                        seconds: float, message: Optional[Message]) -> None:
+        for listener in self._compute_listeners:
+            listener(kind, replica_id, time_, seconds, message)

@@ -32,7 +32,8 @@ class TraceEvent:
         kind: event kind, one of ``start``, ``recv``, ``timer``, ``send``,
             ``broadcast``, ``arm-timer``, ``commit`` — plus, for network
             traces (:func:`attach_network_trace`), ``net-send`` and
-            ``net-drop``.
+            ``net-drop``, and for compute traces
+            (:func:`attach_compute_trace`), ``cpu-busy`` and ``cpu-wait``.
         detail: short human-readable description.
         data: optional structured payload (message type, block round, ...;
             for ``net-send`` events the delay decomposition — queueing,
@@ -231,4 +232,38 @@ def attach_network_trace(simulation, log: Optional[TraceLog] = None) -> TraceLog
         ))
 
     simulation.add_delivery_listener(on_delivery)
+    return trace_log
+
+
+def attach_compute_trace(simulation, log: Optional[TraceLog] = None) -> TraceLog:
+    """Record every compute charge and CPU-queue wait as trace events.
+
+    Registers a compute listener on ``simulation`` (a
+    :class:`repro.runtime.simulator.Simulation`) that appends one event per
+    compute action: kind ``cpu-busy`` when a handled message occupies the
+    replica's core (with the charged seconds and the message type), and
+    kind ``cpu-wait`` when a delivery finds the core busy and is deferred
+    (with the waited seconds).  Under the default
+    :class:`repro.runtime.compute.ZeroCompute` model no events are emitted.
+
+    Where :func:`attach_network_trace` answers "where did the message's
+    *wire* time go", this answers "where did the replica's *CPU* time go" —
+    combine both on one shared log for the full delay picture of a
+    CPU-bound run.
+    """
+    trace_log = log if log is not None else TraceLog()
+
+    def on_compute(kind: str, replica_id: int, time: float, seconds: float,
+                   message) -> None:
+        if kind == "cpu-busy":
+            detail = f"{type(message).__name__} busy {seconds * 1e3:.3f}ms"
+        else:
+            detail = f"delivery waited {seconds * 1e3:.3f}ms for the core"
+        trace_log.append(TraceEvent(
+            time=time, replica_id=replica_id, kind=kind, detail=detail,
+            data={"seconds": seconds,
+                  "message": type(message).__name__ if message is not None else None},
+        ))
+
+    simulation.add_compute_listener(on_compute)
     return trace_log

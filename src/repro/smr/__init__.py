@@ -11,6 +11,9 @@ them in an SMR deployment:
   to show end-to-end replication.
 * :mod:`repro.smr.metrics` — latency / throughput / block-interval
   collection matching the paper's measurement methodology (Section 9.2).
+* :mod:`repro.smr.quorum` — the shared quorum/certificate engine: vote
+  tallies with duplicate suppression, equivocation evidence, and
+  threshold firing, used by every protocol implementation.
 """
 
 from repro.smr.ledger import KeyValueLedger, Transaction, decode_transactions, encode_transactions
@@ -22,14 +25,17 @@ from repro.smr.metrics import (
     RunMetrics,
     WorkloadMetrics,
 )
+from repro.smr.quorum import CertificateCollector, QuorumTracker
 
 __all__ = [
+    "CertificateCollector",
     "KeyValueLedger",
     "LatencySample",
     "Mempool",
     "MetricsCollector",
     "OccupancySample",
     "PayloadSource",
+    "QuorumTracker",
     "RunMetrics",
     "Transaction",
     "WorkloadMetrics",

@@ -83,6 +83,11 @@ class RunMetrics:
         block_intervals: times between consecutive commits at the observer.
         fast_finalized: number of commits finalized via the fast path.
         slow_finalized: number of commits finalized via the slow path.
+        compute_busy_fractions: per-replica fraction of the run spent with
+            the CPU busy handling messages (empty under the default
+            zero-compute model).
+        compute_queue_wait_s: per-replica total seconds deliveries spent
+            waiting for the busy core (empty under zero compute).
     """
 
     protocol: str
@@ -93,6 +98,8 @@ class RunMetrics:
     block_intervals: List[float] = field(default_factory=list)
     fast_finalized: int = 0
     slow_finalized: int = 0
+    compute_busy_fractions: Dict[int, float] = field(default_factory=dict)
+    compute_queue_wait_s: Dict[int, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # Derived statistics
@@ -157,6 +164,21 @@ class RunMetrics:
         total = self.fast_finalized + self.slow_finalized
         return self.fast_finalized / total if total else 0.0
 
+    @property
+    def max_busy_fraction(self) -> float:
+        """Largest per-replica CPU busy fraction (0 under zero compute)."""
+        return max(self.compute_busy_fractions.values(), default=0.0)
+
+    @property
+    def mean_busy_fraction(self) -> float:
+        """Mean per-replica CPU busy fraction (0 under zero compute)."""
+        return _mean(list(self.compute_busy_fractions.values()))
+
+    @property
+    def total_compute_queue_wait_s(self) -> float:
+        """Total seconds deliveries waited for busy cores, across replicas."""
+        return sum(self.compute_queue_wait_s.values())
+
     def summary(self) -> Dict[str, float]:
         """Return the headline numbers as a dictionary (seconds / bytes)."""
         return {
@@ -169,11 +191,17 @@ class RunMetrics:
             "mean_block_interval_s": self.mean_block_interval,
             "fast_path_ratio": self.fast_path_ratio,
             "committed_blocks": float(self.committed_blocks),
+            "max_busy_fraction": self.max_busy_fraction,
         }
 
     def to_dict(self) -> Dict[str, object]:
-        """A lossless JSON-ready dictionary (inverse of :meth:`from_dict`)."""
-        return {
+        """A lossless JSON-ready dictionary (inverse of :meth:`from_dict`).
+
+        The compute fields are emitted only when non-empty, so metrics of
+        default (zero-compute) runs serialise exactly as they did before
+        the compute layer existed and cached results stay valid.
+        """
+        data = {
             "protocol": self.protocol,
             "duration": self.duration,
             "latency_samples": [sample.to_dict() for sample in self.latency_samples],
@@ -183,6 +211,16 @@ class RunMetrics:
             "fast_finalized": self.fast_finalized,
             "slow_finalized": self.slow_finalized,
         }
+        if self.compute_busy_fractions:
+            # JSON object keys are strings; from_dict restores the int ids.
+            data["compute_busy_fractions"] = {
+                str(rid): busy for rid, busy in self.compute_busy_fractions.items()
+            }
+        if self.compute_queue_wait_s:
+            data["compute_queue_wait_s"] = {
+                str(rid): wait for rid, wait in self.compute_queue_wait_s.items()
+            }
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "RunMetrics":
@@ -197,6 +235,14 @@ class RunMetrics:
             block_intervals=[float(v) for v in data.get("block_intervals", [])],
             fast_finalized=int(data["fast_finalized"]),
             slow_finalized=int(data["slow_finalized"]),
+            compute_busy_fractions={
+                int(rid): float(busy)
+                for rid, busy in data.get("compute_busy_fractions", {}).items()
+            },
+            compute_queue_wait_s={
+                int(rid): float(wait)
+                for rid, wait in data.get("compute_queue_wait_s", {}).items()
+            },
         )
 
 

@@ -1,0 +1,199 @@
+"""The shared quorum/certificate engine: vote tallies with threshold firing.
+
+Every protocol in this repository turns votes into certificates the same
+way — collect votes per block, suppress duplicates, fire once when a
+threshold is met — yet each used to hand-roll the bookkeeping.  This module
+centralises it:
+
+* :class:`QuorumTracker` tallies votes of **one kind toward one threshold**
+  (per round, in the protocols' usage): each voter counts at most once per
+  block, duplicate votes are ignored, a voter observed supporting more than
+  one block is recorded as a **conflicting-support observation**, and an
+  optional callback fires **exactly once** per block when its tally reaches
+  the threshold.  Whether conflicting support is *misbehaviour* depends on
+  the vote kind's honest-voting rule: honest replicas cast at most one fast
+  or finalization vote per round, so those observations are hard evidence,
+  while ICC-family notarization votes may honestly support several blocks
+  of one round (the set ``N``) — interpret the evidence per kind (see
+  :func:`repro.byzantine.behaviors.fast_vote_equivocators` for a sound
+  use).
+* :class:`CertificateCollector` is the per-replica front: it lazily creates
+  one tracker per ``(round, kind)`` and aggregates equivocation evidence
+  across rounds, so a protocol carries a single collector instead of one
+  dictionary per vote kind per round.
+
+The engine works at any threshold — ICC's ``n - f``, Banyan's
+``⌈(n+f+1)/2⌉`` notarization and ``n - p`` fast quorums, HotStuff's QC
+quorum, Streamlet's ``⌈2n/3⌉`` — which is exactly what lets all four
+protocols (and the Byzantine behaviour mixins) share it.
+
+Determinism contract: iteration orders (``blocks()``, ``reached_blocks()``)
+follow first-vote insertion order, matching the ``dict``-of-``set``
+bookkeeping the protocols previously hand-rolled, so porting a protocol to
+the engine does not perturb seeded executions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+
+#: Callback invoked (exactly once per block) when a block reaches the
+#: tracker's threshold.
+ThresholdCallback = Callable[[Hashable], None]
+
+
+class QuorumTracker:
+    """Tally votes per block toward one threshold.
+
+    Args:
+        threshold: number of distinct voters at which a block's tally is
+            *reached*; must be positive.
+        on_threshold: optional callback fired exactly once per block, at the
+            moment its tally first reaches the threshold.
+
+    The tracker is agnostic to what a "block" or "voter" is beyond
+    hashability, so unit tests can drive it with plain strings and ints.
+    """
+
+    __slots__ = ("threshold", "on_threshold", "_voters", "_by_voter",
+                 "_fired", "_equivocators")
+
+    def __init__(self, threshold: int,
+                 on_threshold: Optional[ThresholdCallback] = None) -> None:
+        if threshold < 1:
+            raise ValueError("quorum threshold must be positive")
+        self.threshold = threshold
+        self.on_threshold = on_threshold
+        #: Block id → distinct voters (insertion-ordered by first vote).
+        self._voters: Dict[Hashable, Set[int]] = {}
+        #: Voter → block ids it supported (equivocation detection).
+        self._by_voter: Dict[int, Set[Hashable]] = {}
+        #: Blocks whose threshold callback has fired already.
+        self._fired: Set[Hashable] = set()
+        self._equivocators: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def add_vote(self, block_id: Hashable, voter: int) -> bool:
+        """Count one vote; return whether it was new (duplicates: ``False``)."""
+        voters = self._voters.get(block_id)
+        if voters is None:
+            voters = self._voters[block_id] = set()
+        if voter in voters:
+            return False
+        voters.add(voter)
+        supported = self._by_voter.setdefault(voter, set())
+        supported.add(block_id)
+        if len(supported) > 1:
+            self._equivocators.add(voter)
+        if len(voters) >= self.threshold and block_id not in self._fired:
+            self._fired.add(block_id)
+            if self.on_threshold is not None:
+                self.on_threshold(block_id)
+        return True
+
+    def add_voters(self, block_id: Hashable, voters: Iterable[int]) -> bool:
+        """Merge a certificate's voter set; return whether any vote was new."""
+        added = False
+        for voter in voters:
+            added |= self.add_vote(block_id, voter)
+        return added
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def voters(self, block_id: Hashable) -> FrozenSet[int]:
+        """The distinct voters recorded for ``block_id``."""
+        return frozenset(self._voters.get(block_id, ()))
+
+    def count(self, block_id: Hashable) -> int:
+        """Number of distinct voters recorded for ``block_id``."""
+        return len(self._voters.get(block_id, ()))
+
+    def reached(self, block_id: Hashable) -> bool:
+        """Whether ``block_id``'s tally is at or above the threshold."""
+        return self.count(block_id) >= self.threshold
+
+    def blocks(self) -> List[Hashable]:
+        """Blocks with at least one vote, in first-vote order."""
+        return list(self._voters)
+
+    def reached_blocks(self) -> List[Hashable]:
+        """Blocks at or above the threshold, in first-vote order."""
+        return [block_id for block_id, voters in self._voters.items()
+                if len(voters) >= self.threshold]
+
+    def equivocators(self) -> FrozenSet[int]:
+        """Voters observed supporting more than one distinct block.
+
+        This is evidence of misbehaviour only for vote kinds where honest
+        replicas vote at most once (fast votes, finalization votes,
+        Streamlet/HotStuff notarization votes) — ICC-family notarization
+        votes may honestly support several same-round blocks.
+        """
+        return frozenset(self._equivocators)
+
+    def evidence(self, voter: int) -> Tuple[Hashable, ...]:
+        """The distinct blocks ``voter`` supported (sorted; evidence record)."""
+        return tuple(sorted(self._by_voter.get(voter, ()), key=repr))
+
+
+class CertificateCollector:
+    """Per-replica vote bookkeeping across rounds and vote kinds.
+
+    One :class:`QuorumTracker` is created lazily per ``(round, kind)``; the
+    threshold is fixed on first access (protocol quorums are static for a
+    run).  The collector is what a protocol holds instead of per-round
+    dictionaries-of-sets.
+    """
+
+    __slots__ = ("_trackers",)
+
+    def __init__(self) -> None:
+        self._trackers: Dict[Tuple[int, Hashable], QuorumTracker] = {}
+
+    def tracker(self, round_k: int, kind: Hashable, threshold: int,
+                on_threshold: Optional[ThresholdCallback] = None) -> QuorumTracker:
+        """The tracker of ``(round, kind)``, created on first use."""
+        key = (round_k, kind)
+        tracker = self._trackers.get(key)
+        if tracker is None:
+            tracker = self._trackers[key] = QuorumTracker(threshold, on_threshold)
+        return tracker
+
+    def get(self, round_k: int, kind: Hashable) -> Optional[QuorumTracker]:
+        """The tracker of ``(round, kind)`` if it exists (no creation)."""
+        return self._trackers.get((round_k, kind))
+
+    def add_vote(self, round_k: int, kind: Hashable, block_id: Hashable,
+                 voter: int, threshold: int) -> bool:
+        """Record one vote into the ``(round, kind)`` tracker."""
+        return self.tracker(round_k, kind, threshold).add_vote(block_id, voter)
+
+    def equivocation_evidence(self) -> Dict[Tuple[int, Hashable], FrozenSet[int]]:
+        """Conflicting-support observations per ``(round, kind)``.
+
+        Empty entries are omitted.  Interpret per vote kind — see
+        :meth:`QuorumTracker.equivocators` for which kinds make the
+        observation hard evidence of misbehaviour.
+        """
+        return {
+            key: tracker.equivocators()
+            for key, tracker in self._trackers.items()
+            if tracker.equivocators()
+        }
+
+    def equivocators(self) -> FrozenSet[int]:
+        """Voters with conflicting support in any round or kind.
+
+        A raw union across kinds: filter by kind (via
+        :meth:`equivocation_evidence`) before treating membership as proof
+        of misbehaviour, since some kinds allow honest multi-block support.
+        """
+        culprits: Set[int] = set()
+        for tracker in self._trackers.values():
+            culprits |= tracker.equivocators()
+        return frozenset(culprits)

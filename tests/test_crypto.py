@@ -129,3 +129,68 @@ class TestAggregateSignature:
         assert AggregateSignature.from_shares(shares) == AggregateSignature.from_shares(
             list(reversed(shares))
         )
+
+
+class TestVerificationMemo:
+    """The batch/memoized fast path added for repeated certificate checks."""
+
+    def _shares(self, registry, message, signers):
+        return [sign(message, signer, registry) for signer in signers]
+
+    def test_repeat_verification_hits_the_memo(self, registry):
+        aggregate = AggregateSignature.from_shares(self._shares(registry, "m", [0, 1, 2]))
+        assert registry.aggregate_verify_cache() == {}
+        assert aggregate.verify("m", registry)
+        assert len(registry.aggregate_verify_cache()) == 1
+        # The repeat answers from the memo (and stays correct).
+        assert aggregate.verify("m", registry)
+        assert len(registry.aggregate_verify_cache()) == 1
+
+    def test_memo_keyed_by_message_and_shares(self, registry):
+        a = AggregateSignature.from_shares(self._shares(registry, "m", [0, 1]))
+        b = AggregateSignature.from_shares(self._shares(registry, "m", [0, 1, 2]))
+        assert a.verify("m", registry) and b.verify("m", registry)
+        assert not a.verify("other", registry)
+        assert len(registry.aggregate_verify_cache()) == 3
+
+    def test_negative_results_are_memoized_correctly(self, registry):
+        aggregate = AggregateSignature.from_shares(self._shares(registry, "m", [0, 1]))
+        for _ in range(2):
+            assert not aggregate.verify("other", registry)
+            assert aggregate.verify("m", registry)
+
+    def test_forged_share_fails_despite_memo(self, registry):
+        good = self._shares(registry, "m", [0])
+        forged = Signature(signer=1, tag=b"\x00" * 32,
+                           message_digest=good[0].message_digest)
+        aggregate = AggregateSignature(shares=((0, good[0]), (1, forged)))
+        for _ in range(2):
+            assert not aggregate.verify("m", registry)
+
+    def test_registering_a_key_invalidates_the_memo(self, registry):
+        stranger = generate_keypair(9, seed=b"elsewhere")
+        share = sign("m", 9, KeyRegistry([stranger]))
+        aggregate = AggregateSignature.from_shares([share])
+        assert not aggregate.verify("m", registry)  # signer unknown here
+        registry.register(stranger)
+        assert aggregate.verify("m", registry)  # stale False must not stick
+
+    def test_verify_many_matches_individual_verification(self, registry):
+        from repro.crypto.aggregate import verify_many
+
+        pairs = []
+        for message in ("m1", "m2"):
+            aggregate = AggregateSignature.from_shares(
+                self._shares(registry, message, [0, 1, 2]))
+            pairs.append((message, aggregate))
+        pairs.append(("m1", pairs[1][1]))    # wrong message for that aggregate
+        pairs.append(pairs[0])               # repeat of a valid pair
+        pairs.append(("m3", AggregateSignature()))  # empty aggregate
+        assert verify_many(pairs, registry) == [True, True, False, True, False]
+
+    def test_verify_many_handles_unhashable_messages(self, registry):
+        from repro.crypto.aggregate import verify_many
+
+        message = ["list", "payload"]  # unhashable: falls back per occurrence
+        aggregate = AggregateSignature.from_shares(self._shares(registry, message, [0, 1]))
+        assert verify_many([(message, aggregate)] * 2, registry) == [True, True]

@@ -166,6 +166,36 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["run", "--n", "4", "--f", "1", "--transport", "quic"])
 
+    def test_run_command_with_crypto_compute(self, capsys):
+        assert main([
+            "run", "--protocol", "banyan", "--n", "4", "--f", "1", "--p", "1",
+            "--payload", "10000", "--duration", "5",
+            "--compute", "crypto", "--compute-scale", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "busy_frac" in out
+
+    def test_run_command_rejects_scale_without_crypto_compute(self, capsys):
+        assert main([
+            "run", "--n", "4", "--f", "1", "--duration", "5",
+            "--compute-scale", "2",
+        ]) == 2
+        assert "--compute crypto" in capsys.readouterr().err
+
+    def test_run_command_rejects_unknown_compute(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--n", "4", "--f", "1", "--compute", "gpu"])
+
+    def test_figure_crypto_listed_and_runs_tiny(self, capsys):
+        assert main(["list"]) == 0
+        assert "crypto" in capsys.readouterr().out
+        assert main(["figure", "crypto", "--duration", "2",
+                     "--warmup", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "banyan (free compute)" in out
+        assert "banyan (crypto compute)" in out
+        assert "busy_frac" in out
+
     def test_figure_uplink_listed_and_runs_tiny(self, capsys):
         assert main(["list"]) == 0
         assert "uplink" in capsys.readouterr().out
