@@ -174,6 +174,12 @@ class DelayedReplica(Protocol):
     ``extra_delay`` seconds using the runtime's own timers.  Used by the
     straggler ablation benchmark to show when the Banyan fast path stops
     firing.
+
+    An optional ``window=(start, end)`` limits the straggling to a phase: the
+    delay applies only to sends initiated during the half-open interval
+    ``[start, end)`` (same boundary rule as :mod:`repro.net.faults`), so the
+    chaos engine can model a replica that is slow for a while and then
+    recovers its pace.  Without a window the replica straggles forever.
     """
 
     name = "delayed"
@@ -185,19 +191,29 @@ class DelayedReplica(Protocol):
         self,
         inner: Protocol,
         extra_delay: float,
+        window: Optional[tuple] = None,
     ) -> None:
         super().__init__(inner.replica_id, inner.params, inner.registry)
         if extra_delay < 0:
             raise ValueError("extra delay must be non-negative")
+        if window is not None and window[1] <= window[0]:
+            raise ValueError("straggler window must have positive length")
         self.inner = inner
         self.extra_delay = extra_delay
+        self.window = window
         self.proposal_times = inner.proposal_times
 
     def queue_send(self, ctx: ReplicaContext, receiver: int, message: Message) -> None:
-        """Defer a send by ``extra_delay`` (immediately if the delay is 0)."""
+        """Defer a send by ``extra_delay`` (immediately if the delay is 0 or
+        the send falls outside the straggler window)."""
         if self.extra_delay <= 0:
             ctx.send(receiver, message)
             return
+        if self.window is not None:
+            now = ctx.now()
+            if not (self.window[0] <= now < self.window[1]):
+                ctx.send(receiver, message)
+                return
         ctx.set_timer(self.extra_delay, self._SEND_TIMER, (receiver, message))
 
     def on_start(self, ctx: ReplicaContext) -> None:

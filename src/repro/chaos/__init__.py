@@ -1,0 +1,52 @@
+"""Chaos engine: randomized fault-schedule exploration with invariant checks.
+
+Where :mod:`tests` pins a handful of hand-written adversarial scenarios,
+this package *generates* them: seeded fault timelines (crashes and
+recoveries, overlapping partitions, loss bursts, straggler phases, planted
+Byzantine replicas) are thrown at every protocol and each run is judged
+against machine-checked safety and liveness invariants.  Failures shrink to
+1-minimal schedules serialized as replayable JSON repros.
+
+Entry points:
+
+* :func:`repro.chaos.engine.run_chaos` — run a campaign (parallel, cached);
+* :func:`repro.chaos.engine.replay_repro` — re-run a shrunk repro file;
+* ``banyan-repro chaos`` — the CLI front end.
+"""
+
+from repro.chaos.engine import (
+    ChaosReport,
+    ChaosTrialResult,
+    ChaosTrialSpec,
+    replay_repro,
+    run_chaos,
+    run_chaos_schedule,
+    run_chaos_trial,
+    shrink_schedule,
+    write_repro,
+)
+from repro.chaos.invariants import InvariantChecker, Violation
+from repro.chaos.schedule import (
+    ChaosConfig,
+    ChaosSchedule,
+    Fault,
+    ScheduleGenerator,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "ChaosSchedule",
+    "ChaosTrialResult",
+    "ChaosTrialSpec",
+    "Fault",
+    "InvariantChecker",
+    "ScheduleGenerator",
+    "Violation",
+    "replay_repro",
+    "run_chaos",
+    "run_chaos_schedule",
+    "run_chaos_trial",
+    "shrink_schedule",
+    "write_repro",
+]

@@ -1,0 +1,43 @@
+"""Deliberately broken protocol variants — the chaos engine's crash dummies.
+
+These exist *only* to prove the chaos pipeline end to end: a protocol with a
+real (planted) safety bug must make ``run_chaos`` report violations and
+shrink the failure to a minimal schedule.  They are registered on demand
+(``<base>-broken`` names) and must never be used outside tests, examples,
+and chaos self-checks.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.icc import ICCReplica
+from repro.protocols.registry import available_protocols, register_protocol
+
+
+class BrokenQuorumICC(ICCReplica):
+    """ICC with an unsound notarization/finalization quorum.
+
+    The quorum is lowered to ``⌊n/2⌋`` — below the intersection bound — so
+    two disjoint replica groups can each notarize and finalize their own
+    block for the same round.  Fault-free runs usually survive (the rank-0
+    leader is unique and honest), but a partition that splits the replicas
+    into two proposer-bearing halves lets both sides finalize conflicting
+    chains: exactly the class of bug the agreement invariant exists to
+    catch, and a failure that shrinking should reduce to the one partition
+    window that triggers it.
+    """
+
+    name = "icc-broken"
+
+    @property
+    def notarization_quorum(self) -> int:
+        return max(1, self.params.n // 2)
+
+    @property
+    def finalization_quorum(self) -> int:
+        return max(1, self.params.n // 2)
+
+
+def register_broken_protocols() -> None:
+    """Register the broken variants (idempotent; called on demand)."""
+    if "icc-broken" not in available_protocols():
+        register_protocol("icc-broken", BrokenQuorumICC)

@@ -1,0 +1,246 @@
+"""Machine-checked invariants: what every chaos run must satisfy.
+
+The :class:`InvariantChecker` hooks into the simulator's existing listener
+seams (:meth:`repro.runtime.simulator.Simulation.add_commit_listener`) and
+judges the execution online, then once more post-run:
+
+* **agreement** — all honest replicas finalize one chain: the commit at
+  position ``i`` of every honest replica is the same block (prefix
+  consistency), and no round finalizes two different blocks anywhere;
+* **certified ancestry** — each honest commit extends the replica's
+  previous commit (``parent_id`` linkage back to genesis) and, post-run,
+  every committed block is notarized in the committer's block tree;
+* **fast-path soundness** — no round ever has two fast-finalizable blocks
+  at any honest replica, fast-finalized rounds never conflict, and
+  fast-vote equivocation evidence (:func:`repro.byzantine.behaviors.
+  fast_vote_equivocators`) only ever names planted Byzantine replicas;
+* **bounded liveness** — once the last fault heals, every honest replica
+  that never crashed commits again within the configured bound (checked
+  only when the run leaves enough quiet tail after the heal).
+
+Violations are collected as data (:class:`Violation`), never asserts, so
+the chaos engine can count, report, shrink, and serialize them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from repro.byzantine.behaviors import fast_vote_equivocators
+from repro.runtime.simulator import CommitRecord, Simulation
+from repro.types.blocks import genesis_block
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed invariant violation.
+
+    Attributes:
+        invariant: invariant name (``"agreement"``, ``"round-agreement"``,
+            ``"certified-ancestry"``, ``"notarized-commit"``,
+            ``"fast-path-soundness"``, ``"equivocation-evidence"``,
+            ``"liveness"``).
+        time: simulation time at which the violation was detected (the end
+            of the run for post-run checks).
+        replica: the replica at which it was observed.
+        detail: human-readable description.
+    """
+
+    invariant: str
+    time: float
+    replica: int
+    detail: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dictionary (inverse of :meth:`from_dict`)."""
+        return {"invariant": self.invariant, "time": self.time,
+                "replica": self.replica, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Violation":
+        """Rebuild a violation from :meth:`to_dict` output."""
+        return cls(invariant=str(data["invariant"]), time=float(data["time"]),
+                   replica=int(data["replica"]), detail=str(data["detail"]))
+
+
+class InvariantChecker:
+    """Online + post-run invariant checking for one simulation.
+
+    Attach with :meth:`attach` before running; read :attr:`violations`
+    after.  Byzantine replicas are excluded from every honesty-scoped check
+    (their commits are unconstrained — a Byzantine replica may claim
+    anything), but evidence checks still reference them: honest replicas
+    must never be *flagged* as equivocators.
+
+    Args:
+        replica_ids: all replica ids of the simulation.
+        byzantine: planted Byzantine replica ids (excluded from honesty
+            checks).
+        max_violations: stop recording after this many violations (a broken
+            run would otherwise flood the report with one violation per
+            commit).
+    """
+
+    def __init__(self, replica_ids: Iterable[int],
+                 byzantine: Iterable[int] = (),
+                 max_violations: int = 25) -> None:
+        self.replica_ids = sorted(replica_ids)
+        self.byzantine: FrozenSet[int] = frozenset(byzantine)
+        self.honest = [r for r in self.replica_ids if r not in self.byzantine]
+        self.max_violations = max_violations
+        self.violations: List[Violation] = []
+        self._genesis_id = genesis_block().id
+        #: Per-honest-replica committed chain (block ids, commit order).
+        self._chains: Dict[int, List[object]] = {r: [] for r in self.honest}
+        #: The longest honest chain seen so far; every honest chain must be
+        #: one of its prefixes.
+        self._canonical: List[object] = []
+        #: Round → first finalized block id (across honest replicas).
+        self._round_block: Dict[int, object] = {}
+        #: Rounds somebody fast-finalized (for fast-path conflict labelling).
+        self._fast_rounds: Dict[int, object] = {}
+        self._last_commit_time: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Online checks
+    # ------------------------------------------------------------------ #
+
+    def attach(self, simulation: Simulation) -> "InvariantChecker":
+        """Register the commit listener on ``simulation``; returns self."""
+        simulation.add_commit_listener(self.on_commit)
+        return self
+
+    def _record(self, invariant: str, time: float, replica: int, detail: str) -> None:
+        if len(self.violations) < self.max_violations:
+            self.violations.append(Violation(
+                invariant=invariant, time=time, replica=replica, detail=detail,
+            ))
+
+    def on_commit(self, record: CommitRecord) -> None:
+        """Commit-stream listener (wired via ``add_commit_listener``)."""
+        replica = record.replica_id
+        if replica in self.byzantine:
+            return
+        block = record.block
+        chain = self._chains[replica]
+        short = str(block.id)[:8]
+
+        # Certified ancestry: each commit extends the previous one.
+        expected_parent = chain[-1] if chain else self._genesis_id
+        if block.parent_id != expected_parent:
+            self._record(
+                "certified-ancestry", record.commit_time, replica,
+                f"block {short} (round {block.round}) does not extend the "
+                f"replica's previous commit",
+            )
+
+        # Agreement: honest chains are prefixes of one another.
+        position = len(chain)
+        if position < len(self._canonical):
+            if self._canonical[position] != block.id:
+                self._record(
+                    "agreement", record.commit_time, replica,
+                    f"chain position {position} is {short}, another honest "
+                    f"replica finalized a different block there",
+                )
+        else:
+            self._canonical.append(block.id)
+
+        # Round agreement: one finalized block per round, ever.
+        existing = self._round_block.get(block.round)
+        if existing is None:
+            self._round_block[block.round] = block.id
+        elif existing != block.id:
+            fast = (record.finalization_kind == "fast"
+                    or block.round in self._fast_rounds)
+            self._record(
+                "fast-path-soundness" if fast else "round-agreement",
+                record.commit_time, replica,
+                f"round {block.round} finalized two different blocks"
+                + (" (fast path involved)" if fast else ""),
+            )
+        if record.finalization_kind == "fast":
+            self._fast_rounds.setdefault(block.round, block.id)
+
+        chain.append(block.id)
+        self._last_commit_time[replica] = record.commit_time
+
+    # ------------------------------------------------------------------ #
+    # Post-run checks
+    # ------------------------------------------------------------------ #
+
+    def finalize(self, simulation: Simulation, heal_time: float,
+                 liveness_bound: float, duration: float,
+                 never_crashed: Optional[Iterable[int]] = None) -> List[Violation]:
+        """Run the post-run checks; returns the full violation list.
+
+        Args:
+            simulation: the finished simulation.
+            heal_time: when the last timed fault healed.
+            liveness_bound: seconds within which a quiet network must
+                produce a commit at every eligible replica.
+            duration: the run's horizon.
+            never_crashed: honest replicas that never crashed — the set
+                bounded liveness is asserted on (a recovered replica may
+                legitimately be stuck waiting for ancestors it missed;
+                defaults to all honest replicas).
+        """
+        eligible = set(self.honest if never_crashed is None else never_crashed)
+        eligible -= self.byzantine
+
+        for replica in self.honest:
+            protocol = simulation.protocol(replica)
+            # Wrapper replicas (stragglers' DelayedReplica, tracers) hold
+            # the real state on .inner — unwrap, or the state-level checks
+            # below would silently probe the wrapper and find nothing.
+            while hasattr(protocol, "inner"):
+                protocol = protocol.inner
+
+            # Fast-path soundness at the state level: a round must never
+            # accumulate two fast-finalizable blocks, and equivocation
+            # evidence must only ever name planted byzantine replicas.
+            fast_states = getattr(protocol, "_fast", None)
+            if fast_states:
+                flagged = fast_vote_equivocators(protocol)
+                if not flagged <= self.byzantine:
+                    wrongly = sorted(flagged - self.byzantine)
+                    self._record(
+                        "equivocation-evidence", duration, replica,
+                        f"honest replicas {wrongly} flagged as fast-vote "
+                        f"equivocators",
+                    )
+                for round_k, state in fast_states.items():
+                    finalizable = state.fast_finalizable_blocks()
+                    if len(finalizable) > 1:
+                        self._record(
+                            "fast-path-soundness", duration, replica,
+                            f"round {round_k} has {len(finalizable)} "
+                            f"fast-finalizable blocks",
+                        )
+
+            # Certified ancestry, part two: committed blocks are notarized
+            # in the committer's own tree (the certificate chain exists).
+            tree = getattr(protocol, "tree", None)
+            if tree is not None:
+                for block_id in self._chains[replica]:
+                    if not tree.is_notarized(block_id):
+                        self._record(
+                            "notarized-commit", duration, replica,
+                            f"committed block {str(block_id)[:8]} has no "
+                            f"notarization in the committer's tree",
+                        )
+                        break
+
+        # Bounded liveness: a quiet tail must produce fresh commits.
+        deadline = heal_time + liveness_bound
+        if deadline <= duration:
+            for replica in sorted(eligible):
+                last = self._last_commit_time.get(replica)
+                if last is None or last <= heal_time:
+                    self._record(
+                        "liveness", duration, replica,
+                        f"no commit after the last fault healed at "
+                        f"{heal_time:g}s (bound {liveness_bound:g}s)",
+                    )
+        return self.violations

@@ -12,6 +12,9 @@ Usage::
     banyan-repro figure crypto --jobs 4
     banyan-repro workload saturation --rates 10,30,60,120 --jobs 4
     banyan-repro workload flash-crowd --burst-rate 250
+    banyan-repro chaos --trials 200 --seed 0 --jobs 4
+    banyan-repro chaos --protocol banyan --trials 50 --shrink
+    banyan-repro chaos --replay .banyan-chaos/chaos-repro-icc-broken-seed0-trial13.json
     banyan-repro list
 
 The output is plain text: the same rows/series the paper reports, rendered
@@ -155,6 +158,45 @@ def _build_parser() -> argparse.ArgumentParser:
                                  help="flash-crowd burst rate (tx/s)")
     _add_runner_arguments(workload_parser)
 
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="randomized fault-schedule exploration with invariant checking",
+    )
+    chaos_parser.add_argument("--trials", type=int, default=50,
+                              help="number of seeded trials (default: 50)")
+    chaos_parser.add_argument("--seed", type=int, default=0,
+                              help="campaign base seed")
+    chaos_parser.add_argument("--protocol", default="all",
+                              help="protocol to stress, or 'all' to rotate "
+                                   "through banyan/icc/hotstuff/streamlet "
+                                   "(default: all)")
+    chaos_parser.add_argument("--n", type=int, default=4,
+                              help="replica count (default: 4)")
+    chaos_parser.add_argument("--f", type=int, default=None,
+                              help="fault bound (default: largest sound f)")
+    chaos_parser.add_argument("--p", type=int, default=1,
+                              help="fast-path parameter (default: 1)")
+    chaos_parser.add_argument("--duration", type=float, default=15.0,
+                              help="simulated seconds per trial (default: 15; "
+                                   "short runs still check safety but may "
+                                   "leave no tail for the liveness check)")
+    chaos_parser.add_argument("--shrink", action=argparse.BooleanOptionalAction,
+                              default=True,
+                              help="shrink failing schedules to minimal "
+                                   "repros (default: on)")
+    chaos_parser.add_argument("--repro-dir", default=".banyan-chaos",
+                              help="directory for shrunk-repro JSON files")
+    chaos_parser.add_argument("--replay", default=None, metavar="FILE",
+                              help="replay a shrunk repro JSON instead of "
+                                   "running a campaign")
+    chaos_parser.add_argument("--jobs", type=int, default=1,
+                              help="parallel worker processes (default: 1)")
+    chaos_parser.add_argument("--cache-dir", default=None,
+                              help="directory of per-trial JSON results; "
+                                   "re-runs skip trials already present")
+    chaos_parser.add_argument("--no-cache", action="store_true",
+                              help="ignore cached results (still refreshed)")
+
     subparsers.add_parser("list", help="list available protocols, figures, and workloads")
     return parser
 
@@ -290,6 +332,67 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    # Imported lazily: the chaos engine pulls in the whole simulator stack,
+    # which the table/list subcommands do not need.
+    from repro.chaos import engine as chaos_engine
+
+    if args.replay is not None:
+        try:
+            result = chaos_engine.replay_repro(args.replay)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"banyan-repro chaos: error: cannot replay {args.replay!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"replayed {result.spec.protocol} seed={result.spec.seed} "
+              f"trial={result.spec.trial} with {len(result.schedule)} fault(s):")
+        for line in result.schedule.describe():
+            print(f"  - {line}")
+        if result.failed:
+            print(f"{len(result.violations)} violation(s):")
+            for violation in result.violations:
+                print(f"  [{violation.invariant}] t={violation.time:.3f}s "
+                      f"r{violation.replica}: {violation.detail}")
+            return 1
+        print("no violations (the repro no longer fails)")
+        return 0
+
+    if args.protocol == "all":
+        protocols = chaos_engine.DEFAULT_PROTOCOLS
+    else:
+        protocols = (args.protocol,)
+    progress = _print_progress if (args.jobs > 1 or args.cache_dir) else None
+    try:
+        report = chaos_engine.run_chaos(
+            trials=args.trials, seed=args.seed, protocols=protocols,
+            n=args.n, f=args.f, p=args.p, duration=args.duration,
+            jobs=args.jobs, cache_dir=args.cache_dir,
+            use_cache=not args.no_cache, shrink=args.shrink,
+            repro_dir=args.repro_dir, progress=progress,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"banyan-repro chaos: error: {exc}", file=sys.stderr)
+        return 2
+    rows = report.summary_rows()
+    headers = ["protocol", "trials", "failures", "faults_injected",
+               "liveness_checked", "honest_commits"]
+    print(format_table(headers, [[row[h] for h in headers] for row in rows]))
+    if not report.failures:
+        print(f"\n{len(report.results)} trial(s), zero invariant violations.")
+        return 0
+    print(f"\n{len(report.failures)} failing trial(s):")
+    for result in report.failures:
+        print(f"  {result.spec.protocol} seed={result.spec.seed} "
+              f"trial={result.spec.trial}:")
+        for violation in result.violations[:5]:
+            print(f"    [{violation.invariant}] t={violation.time:.3f}s "
+                  f"r{violation.replica}: {violation.detail}")
+    for path in report.repro_paths:
+        print(f"  shrunk repro written: {path}")
+        print(f"    replay with: banyan-repro chaos --replay {path}")
+    return 1
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     print("protocols:", ", ".join(available_protocols()))
     print("figures:  ", ", ".join(sorted(_FIGURES)))
@@ -306,6 +409,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "run": _cmd_run,
         "workload": _cmd_workload,
+        "chaos": _cmd_chaos,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

@@ -43,6 +43,18 @@ from repro.workload.spec import WorkloadSpec
 PLAN_FORMAT = 1
 
 
+def canonical_hash(payload: Dict[str, object]) -> str:
+    """Stable hex digest of a JSON-ready payload's canonical form.
+
+    The payload is serialised with sorted keys and minimal separators, so
+    two semantically equal payloads digest identically across processes and
+    platforms.  Both experiment specs and chaos trial specs key their
+    result caches on this.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def derive_subseed(base_seed: int, replication: int, component: str) -> int:
     """Derive an independent sub-seed for one replication of one component.
 
@@ -273,12 +285,7 @@ class ExperimentSpec:
         presentation metadata, so relabelling a cell re-runs it rather than
         serving a stale row).  The runner uses this as the cache key.
         """
-        canonical = json.dumps(
-            {"format": PLAN_FORMAT, "spec": self.to_dict()},
-            sort_keys=True,
-            separators=(",", ":"),
-        )
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return canonical_hash({"format": PLAN_FORMAT, "spec": self.to_dict()})
 
     # ------------------------------------------------------------------ #
     # Replication fan-out

@@ -15,6 +15,14 @@ features:
   skips every completed cell, making sweep invocations resumable;
 * **progress** — an optional callback receives a :class:`ProgressEvent`
   per completed spec (cached or executed), for CLI progress lines.
+
+The engine is deliberately duck-typed over its spec/result types: a spec
+needs ``to_dict()`` and ``content_hash()`` (plus ``resolved_label``,
+``cell``, ``replication`` for progress lines), and the ``execute`` /
+``decode`` hooks translate between spec dictionaries and result objects.
+The defaults run :class:`repro.eval.plan.ExperimentSpec` cells; the chaos
+engine (:mod:`repro.chaos.engine`) reuses the same parallelism, caching,
+and ordering for its fault-schedule trials by passing its own hooks.
 """
 
 from __future__ import annotations
@@ -63,23 +71,23 @@ def _execute_serialized(spec_data: Dict[str, object]) -> Dict[str, object]:
     return result.to_dict()
 
 
-def cache_path(cache_dir: str, spec: ExperimentSpec) -> str:
+def cache_path(cache_dir: str, spec) -> str:
     """The cache file that holds (or would hold) the spec's result."""
     return os.path.join(cache_dir, f"{spec.content_hash()}.json")
 
 
-def _cache_load(cache_dir: str, spec: ExperimentSpec) -> Optional[ExperimentResult]:
+def _cache_load(cache_dir: str, spec, decode):
     """Load a cached result; ``None`` on miss or an unreadable/corrupt file."""
     path = cache_path(cache_dir, spec)
     try:
         with open(path, "r", encoding="utf-8") as handle:
             data = json.load(handle)
-        return ExperimentResult.from_dict(data)
+        return decode(data)
     except (OSError, ValueError, KeyError, TypeError):
         return None
 
 
-def _cache_store(cache_dir: str, spec: ExperimentSpec, data: Dict[str, object]) -> None:
+def _cache_store(cache_dir: str, spec, data: Dict[str, object]) -> None:
     """Atomically write a result record (temp file + rename), best-effort."""
     path = cache_path(cache_dir, spec)
     try:
@@ -101,6 +109,8 @@ def run_plan(
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
     progress: Optional[ProgressCallback] = None,
+    execute: Optional[Callable[[Dict[str, object]], Dict[str, object]]] = None,
+    decode: Optional[Callable[[Dict[str, object]], object]] = None,
 ) -> List[ExperimentResult]:
     """Execute every spec of ``plan`` and return results in plan order.
 
@@ -112,16 +122,27 @@ def run_plan(
         use_cache: when False, cached results are ignored (they are still
             rewritten after execution, refreshing the cache).
         progress: optional per-spec completion callback.
+        execute: worker entry point — a picklable, module-level callable
+            taking a spec dictionary and returning a result dictionary.
+            Defaults to running the spec as an experiment.  Custom spec
+            types (e.g. chaos trials) supply their own.
+        decode: rebuilds a result object from a result dictionary (cache
+            hits and worker returns both pass through it).  Defaults to
+            :meth:`ExperimentResult.from_dict`.
 
     Returns:
-        One :class:`ExperimentResult` per spec, ordered like the plan —
-        identical for any ``jobs`` value.
+        One result object per spec, ordered like the plan — identical for
+        any ``jobs`` value.
     """
     specs = list(plan.specs if isinstance(plan, ExperimentPlan) else plan)
     if jobs < 1:
         raise ValueError("jobs must be positive")
+    if execute is None:
+        execute = _execute_serialized
+    if decode is None:
+        decode = ExperimentResult.from_dict
     total = len(specs)
-    results: List[Optional[ExperimentResult]] = [None] * total
+    results: List[Optional[object]] = [None] * total
     completed = 0
 
     def report(index: int, cached: bool) -> None:
@@ -134,7 +155,7 @@ def run_plan(
     for index, spec in enumerate(specs):
         cached = None
         if cache_dir is not None and use_cache:
-            cached = _cache_load(cache_dir, spec)
+            cached = _cache_load(cache_dir, spec, decode)
         if cached is not None:
             results[index] = cached
             completed += 1
@@ -146,17 +167,17 @@ def run_plan(
         nonlocal completed
         if cache_dir is not None:
             _cache_store(cache_dir, specs[index], data)
-        results[index] = ExperimentResult.from_dict(data)
+        results[index] = decode(data)
         completed += 1
         report(index, cached=False)
 
     if jobs == 1 or len(pending) <= 1:
         for index in pending:
-            finish(index, execute_spec(specs[index]).to_dict())
+            finish(index, execute(specs[index].to_dict()))
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             futures = {
-                pool.submit(_execute_serialized, specs[index].to_dict()): index
+                pool.submit(execute, specs[index].to_dict()): index
                 for index in pending
             }
             outstanding = set(futures)

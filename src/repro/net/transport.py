@@ -105,12 +105,13 @@ class Transport(ABC):
         self.latency = latency
         self.bandwidth = bandwidth
         self.faults = faults
-        # Hoisted once: a fault plan with no crashes, drops, or partitions
-        # lets the per-message hot path skip three calls per copy.
+        # Hoisted once: a fault plan with no crashes, drops, bursts, or
+        # partitions lets the per-message hot path skip three calls per copy.
         self._trivial_faults = (
             not faults.crash_schedule.crash_times
             and faults.drop_probability == 0.0
             and not faults.partitions.windows
+            and not faults.loss_bursts
         )
 
     @abstractmethod

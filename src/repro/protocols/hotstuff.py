@@ -88,6 +88,8 @@ class HotStuffReplica(Protocol):
         self._new_views: Dict[int, Set[int]] = {}
         self._proposed_views: Set[int] = set()
         self._view_timer: Optional[int] = None
+        #: Proposals whose parent has not arrived yet, keyed by parent id.
+        self._pending_proposals: Dict[BlockId, List[BlockProposal]] = {}
 
     # ------------------------------------------------------------------ #
     # Quorum
@@ -214,8 +216,15 @@ class HotStuffReplica(Protocol):
         if not justify.verify(None, self.quorum) and justify.round != 0:
             return
         if block.parent_id not in self.tree:
-            # Without the parent we cannot evaluate safety; HotStuff leaders
-            # always extend a QC block, so in practice the parent is known.
+            # Without the parent we cannot evaluate safety.  Leaders always
+            # extend a QC block, but deliveries from *different* senders can
+            # reorder (e.g. a partition healing unevenly per link), so park
+            # the proposal until its parent arrives — dropping it here wedges
+            # the replica forever, since every later block descends from the
+            # missing one.
+            pending = self._pending_proposals.setdefault(block.parent_id, [])
+            if all(parked.block.id != block.id for parked in pending):
+                pending.append(proposal)
             return
         self.tree.add_block(block)
         self._qc_by_block.setdefault(justify.block_id, justify)
@@ -232,6 +241,8 @@ class HotStuffReplica(Protocol):
             # the 3-chain commit rule live under round-robin rotation with a
             # periodically recurring faulty leader.
             ctx.broadcast(VoteMessage(votes=(vote,), sender=self.replica_id))
+        for parked in self._pending_proposals.pop(block.id, []):
+            self._handle_proposal(ctx, parked.block.proposer, parked)
 
     def _is_safe(self, block: Block, justify: Notarization) -> bool:
         """HotStuff safety rule: extend the lock, or justify is newer than it."""

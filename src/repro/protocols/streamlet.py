@@ -72,6 +72,8 @@ class StreamletReplica(Protocol):
         self._notarized_length: Dict[BlockId, int] = {self.tree.genesis_id: 1}
         #: Tip of the longest notarized chain seen so far.
         self._best_tip: Block = self.tree.block(self.tree.genesis_id)
+        #: Proposals whose parent has not arrived yet, keyed by parent id.
+        self._pending_proposals: Dict[BlockId, List[BlockProposal]] = {}
 
     # ------------------------------------------------------------------ #
     # Quorum
@@ -172,11 +174,22 @@ class StreamletReplica(Protocol):
             return
         if block.proposer != self.beacon.leader(block.round):
             return
-        if block.parent_id is None or block.parent_id not in self.tree:
+        if block.parent_id is None:
+            return
+        if block.parent_id not in self.tree:
+            # Deliveries from different senders can reorder (e.g. a partition
+            # healing unevenly per link); park the proposal until its parent
+            # arrives — dropping it would wedge this replica forever, since
+            # every later block descends from the missing one.
+            pending = self._pending_proposals.setdefault(block.parent_id, [])
+            if all(parked.block.id != block.id for parked in pending):
+                pending.append(proposal)
             return
         if block.id not in self.tree:
             self.tree.add_block(block)
             self._try_notarize(ctx, block.round, block.id)
+            for parked in self._pending_proposals.pop(block.id, []):
+                self._handle_proposal(ctx, parked.block.proposer, parked)
         if block.round != self.current_epoch or block.round in self._voted_epochs:
             return
         parent = self.tree.block(block.parent_id)

@@ -20,7 +20,17 @@ default transport a message is delivered at::
     t + transfer_time(a, b, size) + propagation_delay(a, b)
 
 unless the fault plan drops it.  Crashed replicas neither send nor receive,
-and their pending timers never fire.
+and their pending timers never fire.  Crash windows may end
+(:attr:`repro.net.faults.CrashSchedule.recover_times`): a recovered replica
+resumes with the protocol state it had at the crash instant — modelling a
+restart with durable state — but timers that came due while it was down
+are lost, and it re-engages through the messages its peers keep sending.
+A replica that is crashed at time 0 *with* a recovery time has its
+``on_start`` deferred to the recovery instant (it boots late rather than
+never).  All fault windows are half-open ``[start, end)``; the receiver of
+a message is checked with the same predicate at send time and again at
+delivery time, so a copy in flight across a crash is dropped on arrival
+and a copy arriving at or after the recovery instant is delivered.
 
 Replica CPU time is owned by the :class:`repro.runtime.compute.ComputeModel`
 selected through :class:`NetworkConfig` (default:
@@ -348,14 +358,34 @@ class Simulation:
     # ------------------------------------------------------------------ #
 
     def start(self) -> None:
-        """Invoke ``on_start`` on every (non-crashed) replica at time 0."""
+        """Invoke ``on_start`` on every (non-crashed) replica at time 0.
+
+        A replica that is already crashed at time 0 but has a recovery time
+        gets its ``on_start`` deferred to the recovery instant: a machine
+        that boots late still boots.  Replicas crashed forever never start.
+        """
         if self._started:
             return
         self._started = True
         for replica_id in self.replica_ids:
             if self.network.faults.is_crashed(replica_id, self.now):
+                recover = self.network.faults.crash_schedule.recover_time(replica_id)
+                if recover is not None and recover > self.now:
+                    self._defer_start(replica_id, recover)
                 continue
             self._protocols[replica_id].on_start(self._contexts[replica_id])
+
+    def _defer_start(self, replica_id: int, at_time: float) -> None:
+        """Schedule a late ``on_start`` for a replica recovering at ``at_time``."""
+
+        def boot() -> None:
+            # The window is half-open, so the replica is alive at exactly
+            # its recovery instant; re-check in case the plan was replaced.
+            if not self.network.faults.is_crashed(replica_id, self.now):
+                self._protocols[replica_id].on_start(self._contexts[replica_id])
+
+        heapq.heappush(self._queue, (at_time, next(self._seq), "external",
+                                     _EXTERNAL_TARGET, boot))
 
     def step(self) -> bool:
         """Process the next event; return ``False`` if the queue is empty.

@@ -235,6 +235,34 @@ def attach_network_trace(simulation, log: Optional[TraceLog] = None) -> TraceLog
     return trace_log
 
 
+def attach_commit_trace(simulation, log: Optional[TraceLog] = None) -> TraceLog:
+    """Record every commit record of a simulation as ``commit`` trace events.
+
+    Registers a commit listener on ``simulation`` (a
+    :class:`repro.runtime.simulator.Simulation`) that appends one event per
+    :class:`repro.runtime.simulator.CommitRecord` — replica, round, and
+    finalization kind — without wrapping the protocols (unlike
+    :class:`ProtocolTracer`, which records what a replica *does*, this
+    records only what it *decides*).  The chaos engine uses it to embed a
+    commit-trace tail in shrunk repro files, so a failing schedule's JSON
+    shows the last decisions before the violation.
+    """
+    trace_log = log if log is not None else TraceLog()
+
+    def on_commit(record) -> None:
+        trace_log.append(TraceEvent(
+            time=record.commit_time, replica_id=record.replica_id,
+            kind="commit",
+            detail=(f"round {record.block.round} block "
+                    f"{str(record.block.id)[:8]} ({record.finalization_kind})"),
+            data={"round": record.block.round,
+                  "kind": record.finalization_kind},
+        ))
+
+    simulation.add_commit_listener(on_commit)
+    return trace_log
+
+
 def attach_compute_trace(simulation, log: Optional[TraceLog] = None) -> TraceLog:
     """Record every compute charge and CPU-queue wait as trace events.
 

@@ -7,7 +7,7 @@ import random
 import pytest
 
 from repro.net.bandwidth import BandwidthModel
-from repro.net.faults import CrashSchedule, FaultPlan, PartitionPlan
+from repro.net.faults import CrashSchedule, FaultPlan, LossBurst, PartitionPlan
 from repro.net.latency import ConstantLatency, GeoLatency, MatrixLatency, UniformLatency
 from repro.net.topology import (
     AWS_REGIONS,
@@ -213,3 +213,143 @@ class TestFaults:
         plan = FaultPlan.none()
         rng = random.Random(0)
         assert not any(plan.should_drop(a, b, 0.0, rng) for a in range(4) for b in range(4))
+
+
+class TestHalfOpenBoundaries:
+    """Every fault interval is half-open ``[start, end)`` — pinned here.
+
+    The same predicate drives the send-time check (``should_drop``) and
+    the delivery-time check (the simulator re-testing the receiver), so
+    boundary instants behave symmetrically on both sides.
+    """
+
+    def test_crash_window_is_half_open(self):
+        schedule = CrashSchedule(crash_times={1: 5.0}, recover_times={1: 8.0})
+        assert not schedule.is_crashed(1, 4.999)
+        assert schedule.is_crashed(1, 5.0)       # crashed at exactly the start
+        assert schedule.is_crashed(1, 7.999)
+        assert not schedule.is_crashed(1, 8.0)   # alive at exactly the recovery
+        assert schedule.crashed_replicas(5.0) == {1}
+        assert schedule.crashed_replicas(8.0) == frozenset()
+        assert schedule.recover_time(1) == 8.0
+        assert schedule.recover_time(0) is None
+
+    def test_send_and_receive_checks_agree_at_the_boundary(self):
+        plan = FaultPlan(crash_schedule=CrashSchedule(
+            crash_times={2: 5.0}, recover_times={2: 8.0}))
+        rng = random.Random(0)
+        # Send side at the crash instant: both directions drop.
+        assert plan.should_drop(2, 1, 5.0, rng)
+        assert plan.should_drop(1, 2, 5.0, rng)
+        # Receive side uses the same predicate: crashed at 5.0, up at 8.0.
+        assert plan.is_crashed(2, 5.0)
+        assert not plan.is_crashed(2, 8.0)
+        assert not plan.should_drop(1, 2, 8.0, rng)
+
+    def test_partition_window_is_half_open(self):
+        partitions = PartitionPlan.single(1.0, 2.0, [0], [1])
+        plan = FaultPlan(partitions=partitions)
+        assert not plan.partitions.blocks(0, 1, 0.999)
+        assert plan.partitions.blocks(0, 1, 1.0)    # blocked at exactly start
+        assert plan.partitions.blocks(0, 1, 1.999)
+        assert not plan.partitions.blocks(0, 1, 2.0)  # free at exactly end
+        # A held message is released at exactly the window end.
+        assert plan.partition_release(0, 1, 1.0) == pytest.approx(2.0)
+        assert plan.partition_release(0, 1, 2.0) is None
+
+    def test_loss_burst_window_is_half_open(self):
+        burst = LossBurst(start=1.0, end=2.0, probability=1.0)
+        assert not burst.covers(0.999)
+        assert burst.covers(1.0)
+        assert burst.covers(1.999)
+        assert not burst.covers(2.0)
+        plan = FaultPlan(loss_bursts=(burst,))
+        rng = random.Random(0)
+        assert plan.should_drop(0, 1, 1.0, rng)
+        assert not plan.should_drop(0, 1, 2.0, rng)
+
+    def test_recovery_validation(self):
+        with pytest.raises(ValueError):
+            CrashSchedule(crash_times={1: 5.0}, recover_times={1: 5.0})
+        with pytest.raises(ValueError):
+            CrashSchedule(recover_times={1: 5.0})
+
+    def test_recovered_replica_counts_as_correct(self):
+        plan = FaultPlan(crash_schedule=CrashSchedule(
+            crash_times={0: 1.0, 1: 1.0}, recover_times={0: 2.0}))
+        assert plan.correct_replicas([0, 1, 2]) == [0, 2]
+        assert plan.correct_replicas([0, 1, 2], at_time=1.5) == [2]
+
+    def test_loss_burst_validation(self):
+        with pytest.raises(ValueError):
+            LossBurst(start=1.0, end=1.0, probability=0.5)
+        with pytest.raises(ValueError):
+            LossBurst(start=1.0, end=2.0, probability=1.5)
+
+    def test_burst_probability_only_applies_inside_window(self):
+        plan = FaultPlan(loss_bursts=(LossBurst(1.0, 2.0, 0.5),))
+        rng = random.Random(0)
+        inside = sum(plan.should_drop(0, 1, 1.5, rng) for _ in range(1000))
+        assert 350 < inside < 650
+        assert not any(plan.should_drop(0, 1, 0.5, rng) for _ in range(100))
+
+    def test_recovery_and_bursts_round_trip_and_stay_off_legacy_forms(self):
+        plan = FaultPlan(
+            crash_schedule=CrashSchedule(crash_times={1: 2.0},
+                                         recover_times={1: 4.0}),
+            loss_bursts=(LossBurst(1.0, 2.0, 0.25),),
+        )
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt.to_dict() == plan.to_dict()
+        assert rebuilt.crash_schedule.recover_times == {1: 4.0}
+        assert rebuilt.loss_bursts == plan.loss_bursts
+        # A plan without the new fault kinds serialises exactly as before,
+        # keeping existing content hashes and cached results valid.
+        legacy = FaultPlan.with_crashed([0])
+        assert set(legacy.to_dict()) == {"crash_times", "drop_probability",
+                                         "partitions"}
+
+
+class TestCrashRecoveryInSimulation:
+    """End-to-end crash/recovery semantics through the simulator."""
+
+    def _simulate(self, crash, recover):
+        from repro.net.latency import ConstantLatency
+        from repro.protocols.base import ProtocolParams
+        from repro.protocols.registry import create_replicas
+        from repro.runtime.simulator import NetworkConfig, Simulation
+
+        params = ProtocolParams(n=4, f=1, p=1, rank_delay=0.4, payload_size=1_000)
+        replicas = create_replicas("banyan", params)
+        faults = FaultPlan(crash_schedule=CrashSchedule(
+            crash_times={3: crash},
+            recover_times={3: recover} if recover is not None else {},
+        ))
+        simulation = Simulation(replicas, NetworkConfig(
+            latency=ConstantLatency(0.05), faults=faults, seed=2))
+        simulation.run(until=15.0)
+        return simulation
+
+    def test_replica_stops_and_resumes_receiving(self):
+        simulation = self._simulate(crash=3.0, recover=6.0)
+        commits = simulation.commits_for(3)
+        assert commits, "the replica committed before the crash"
+        # No commits during the crash window; the others keep going.
+        assert not any(3.0 <= record.commit_time < 6.0 for record in commits)
+        assert len(simulation.commits_for(0)) > 10
+
+    def test_recovery_matches_permanent_crash_until_the_recovery_instant(self):
+        recovered = self._simulate(crash=3.0, recover=6.0)
+        permanent = self._simulate(crash=3.0, recover=None)
+        cut = [r.block.id for r in recovered.commits_for(3)
+               if r.commit_time < 6.0]
+        gone = [r.block.id for r in permanent.commits_for(3)]
+        assert cut == gone
+
+    def test_crashed_at_zero_with_recovery_boots_late(self):
+        simulation = self._simulate(crash=0.0, recover=2.0)
+        protocol = simulation.protocol(3)
+        # The deferred on_start ran: the replica entered the protocol and
+        # participated after its recovery.
+        assert protocol.current_round > 0
+        assert len(simulation.commits_for(0)) > 10

@@ -1,15 +1,13 @@
 """Tests for the transport layer: dissemination strategies and their wiring.
 
-The golden tests pin the default :class:`DirectTransport` to the exact
-executions the pre-transport simulator produced: the digests below were
-captured on the commit *before* the transport refactor, so any change to
-rng consumption order, arithmetic, or event sequencing in the default path
-shows up as a digest mismatch.
+Execution digests live in the golden regression corpus
+(``tests/test_golden_corpus.py``), which pins every protocol × transport ×
+compute cell plus the original pre-transport-refactor fingerprints; this
+file covers the transports' unit behaviour, wiring, and serialization.
 """
 
 from __future__ import annotations
 
-import hashlib
 import random
 from dataclasses import dataclass
 
@@ -20,8 +18,7 @@ from repro.eval.plan import ExperimentSpec
 from repro.eval.scenarios import plan_uplink_contention
 from repro.net.bandwidth import BandwidthModel
 from repro.net.faults import FaultPlan
-from repro.net.latency import ConstantLatency, GeoLatency
-from repro.net.topology import four_global_datacenters
+from repro.net.latency import ConstantLatency
 from repro.net.transport import (
     ContendedUplinkTransport,
     DirectTransport,
@@ -29,7 +26,6 @@ from repro.net.transport import (
     build_transport,
 )
 from repro.protocols.base import Protocol, ProtocolParams
-from repro.protocols.registry import create_replicas
 from repro.runtime.simulator import NetworkConfig, Simulation
 from repro.runtime.trace import attach_network_trace
 
@@ -49,62 +45,11 @@ def _models(n=4, latency_s=0.05, drop=0.0):
 
 
 # --------------------------------------------------------------------- #
-# Golden equivalence: DirectTransport == pre-refactor simulator
+# Serialization compatibility
 # --------------------------------------------------------------------- #
 
 
-def _execution_fingerprint(protocol, n, f, faults, seed, latency_kind, duration):
-    """Run a full protocol simulation and digest its commit schedule."""
-    params = ProtocolParams(n=n, f=f, p=1, rank_delay=0.6, payload_size=50_000)
-    topology = four_global_datacenters(n)
-    if latency_kind == "geo":
-        latency = GeoLatency(topology)
-        bandwidth = BandwidthModel(topology=topology)
-    else:
-        latency = ConstantLatency(0.05)
-        bandwidth = BandwidthModel()
-    simulation = Simulation(
-        create_replicas(protocol, params),
-        NetworkConfig(latency=latency, bandwidth=bandwidth, faults=faults, seed=seed),
-    )
-    simulation.run(until=duration)
-    commits = []
-    for replica_id in simulation.replica_ids:
-        for record in simulation.commits_for(replica_id):
-            commits.append((
-                record.replica_id, record.block.round, record.block.proposer,
-                f"{record.commit_time:.9f}", record.finalization_kind,
-                record.block.id.hex() if hasattr(record.block.id, "hex")
-                else str(record.block.id),
-            ))
-    digest = hashlib.sha256(repr(commits).encode()).hexdigest()
-    return digest, simulation
-
-
-class TestDirectTransportGoldens:
-    """Pre-refactor execution digests must be reproduced bit-for-bit."""
-
-    def test_banyan_with_drops_and_geo_latency(self):
-        digest, simulation = _execution_fingerprint(
-            "banyan", 4, 1, FaultPlan(drop_probability=0.02), seed=3,
-            latency_kind="geo", duration=12.0,
-        )
-        assert digest == ("ceedd047eb2937151dcb633359b0e1fc"
-                          "beff1d582b231e8427a7d1cc90b7a8b8")
-        assert simulation.bytes_sent == 54_428_736
-        assert simulation.messages_sent == 5_208
-        assert simulation.messages_delivered == 5_054
-        assert simulation.messages_dropped == 106
-
-    def test_icc_faultless_constant_latency(self):
-        digest, simulation = _execution_fingerprint(
-            "icc", 4, 1, FaultPlan.none(), seed=0,
-            latency_kind="const", duration=10.0,
-        )
-        assert digest == ("7ab2125db439432d731e3dab43d192fe"
-                          "144fe383f697afa041d7a98be6d74a73")
-        assert simulation.bytes_sent == 81_584_448
-
+class TestSpecCompatibility:
     def test_spec_content_hash_unchanged_by_transport_fields(self):
         # The cache key of a default-transport spec must be the exact hash
         # the pre-transport code produced, or every existing cache entry
