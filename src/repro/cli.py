@@ -15,6 +15,9 @@ Usage::
     banyan-repro chaos --trials 200 --seed 0 --jobs 4
     banyan-repro chaos --protocol banyan --trials 50 --shrink
     banyan-repro chaos --replay .banyan-chaos/chaos-repro-icc-broken-seed0-trial13.json
+    banyan-repro cluster --n 4 --protocol banyan --duration 5 --check-invariants
+    banyan-repro cluster --protocol all --rate 100 --tx-size 256
+    banyan-repro cluster --replay .banyan-chaos/chaos-repro-banyan-seed0-trial7.json
     banyan-repro list
 
 The output is plain text: the same rows/series the paper reports, rendered
@@ -196,6 +199,59 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "re-runs skip trials already present")
     chaos_parser.add_argument("--no-cache", action="store_true",
                               help="ignore cached results (still refreshed)")
+
+    cluster_parser = subparsers.add_parser(
+        "cluster",
+        help="run a real n-replica TCP cluster on localhost (processes, "
+             "sockets, monotonic clocks) and cross-validate it against the "
+             "simulator's invariants",
+    )
+    cluster_parser.add_argument("--protocol", default="banyan",
+                                help="protocol to run, or 'all' to run each of "
+                                     "banyan/icc/hotstuff/streamlet in turn "
+                                     "(default: banyan)")
+    cluster_parser.add_argument("--n", type=int, default=4,
+                                help="replica count (default: 4)")
+    cluster_parser.add_argument("--f", type=int, default=None,
+                                help="fault bound (default: largest sound f)")
+    cluster_parser.add_argument("--p", type=int, default=None,
+                                help="fast-path parameter (default: max(1, f))")
+    cluster_parser.add_argument("--duration", type=float, default=10.0,
+                                help="wall-clock seconds of protocol time "
+                                     "(default: 10)")
+    cluster_parser.add_argument("--rank-delay", type=float, default=0.05,
+                                help="per-rank delay 2Δ in seconds "
+                                     "(default: 0.05 — localhost is fast)")
+    cluster_parser.add_argument("--round-timeout", type=float, default=1.0,
+                                help="view/epoch timeout in seconds (default: 1)")
+    cluster_parser.add_argument("--payload", type=int, default=0,
+                                help="synthetic payload bytes per proposal when "
+                                     "the mempool is empty (default: 0)")
+    cluster_parser.add_argument("--rate", type=float, default=0.0,
+                                help="aggregate open-loop client rate in tx/s "
+                                     "(default: 0, no workload clients)")
+    cluster_parser.add_argument("--tx-size", type=int, default=128,
+                                help="workload transaction size in bytes "
+                                     "(default: 128)")
+    cluster_parser.add_argument("--clients", type=int, default=2,
+                                help="number of workload client tasks "
+                                     "(default: 2)")
+    cluster_parser.add_argument("--seed", type=int, default=0,
+                                help="base seed for fault/workload RNGs")
+    cluster_parser.add_argument("--base-port", type=int, default=None,
+                                help="first TCP port of a contiguous range "
+                                     "(default: ask the OS for free ports)")
+    cluster_parser.add_argument("--log-dir", default=None,
+                                help="directory for per-replica configs, "
+                                     "commit logs, and summaries (default: a "
+                                     "fresh temp directory)")
+    cluster_parser.add_argument("--check-invariants", action="store_true",
+                                help="cross-validate the real commit logs "
+                                     "against the simulator's invariant "
+                                     "checker; violations fail the run")
+    cluster_parser.add_argument("--replay", default=None, metavar="FILE",
+                                help="replay a shrunk chaos repro JSON at the "
+                                     "socket level instead of a clean run")
 
     subparsers.add_parser("list", help="list available protocols, figures, and workloads")
     return parser
@@ -393,6 +449,116 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    # Imported lazily: the cluster harness pulls in the chaos stack, which
+    # the table/list subcommands do not need.
+    import json
+    from pathlib import Path
+
+    from repro.chaos.engine import DEFAULT_PROTOCOLS, ChaosTrialSpec
+    from repro.chaos.schedule import ChaosSchedule
+    from repro.cluster.harness import run_local_cluster
+
+    common = dict(
+        n=args.n, f=args.f, p=args.p, duration=args.duration,
+        rank_delay=args.rank_delay, round_timeout=args.round_timeout,
+        payload_size=args.payload, seed=args.seed, rate=args.rate,
+        tx_size=args.tx_size, clients=args.clients,
+        base_port=args.base_port,
+    )
+
+    if args.replay is not None:
+        try:
+            with open(args.replay, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            spec = ChaosTrialSpec.from_dict(data["spec"])
+            schedule = ChaosSchedule.from_dict(data["schedule"])
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"banyan-repro cluster: error: cannot replay "
+                  f"{args.replay!r}: {exc}", file=sys.stderr)
+            return 2
+        # The repro's spec defines the trial; CLI flags override only the
+        # cluster-execution knobs (ports, log dir, workload).
+        common.update(n=spec.n, f=spec.f, p=spec.p,
+                      rank_delay=spec.rank_delay,
+                      round_timeout=spec.round_timeout,
+                      payload_size=spec.payload_size,
+                      duration=args.duration if args.duration != 10.0
+                      else spec.duration)
+        print(f"replaying {spec.protocol} seed={spec.seed} "
+              f"trial={spec.trial} against a real {spec.n}-replica cluster, "
+              f"{len(schedule)} fault(s):", file=sys.stderr)
+        for line in schedule.describe():
+            print(f"  - {line}", file=sys.stderr)
+        result = run_local_cluster(
+            spec.protocol, schedule=schedule,
+            liveness_bound=spec.liveness_bound(), check_invariants=True,
+            log_dir=Path(args.log_dir) if args.log_dir else None,
+            **{k: v for k, v in common.items() if k != "n"},
+            n=common["n"],
+        )
+        print(f"replica exit codes: {result.exit_codes}")
+        print(f"committed blocks (observer): {result.committed_blocks}")
+        if result.violations:
+            print(f"{len(result.violations)} violation(s):")
+            for violation in result.violations:
+                print(f"  [{violation.invariant}] t={violation.time:.3f}s "
+                      f"r{violation.replica}: {violation.detail}")
+            print(f"commit logs: {result.log_dir}")
+            return 1
+        print("no violations on the real cluster")
+        return 0
+
+    if args.protocol == "all":
+        protocols = DEFAULT_PROTOCOLS
+    else:
+        if args.protocol not in available_protocols():
+            print(f"banyan-repro cluster: error: unknown protocol "
+                  f"{args.protocol!r}", file=sys.stderr)
+            return 2
+        protocols = (args.protocol,)
+
+    headers = ["protocol", "blocks", "fast", "slow", "mean_interval_ms",
+               "mean_latency_ms", "tx_committed", "violations"]
+    rows = []
+    failed = False
+    for protocol in protocols:
+        print(f"cluster: {protocol} n={args.n} duration={args.duration:g}s",
+              file=sys.stderr)
+        result = run_local_cluster(
+            protocol, check_invariants=args.check_invariants,
+            log_dir=(Path(args.log_dir) / protocol if args.log_dir else None),
+            **common,
+        )
+        metrics = result.metrics
+        intervals = metrics.block_intervals
+        latencies = [sample.latency for sample in metrics.latency_samples]
+        tx = (f"{len(result.workload.committed)}/"
+              f"{len(result.workload.submitted)}"
+              if result.workload.submitted else "-")
+        rows.append([
+            protocol, metrics.committed_blocks, metrics.fast_finalized,
+            metrics.slow_finalized,
+            f"{1000 * sum(intervals) / len(intervals):.1f}" if intervals else "-",
+            f"{1000 * sum(latencies) / len(latencies):.1f}" if latencies else "-",
+            tx, len(result.violations),
+        ])
+        bad_exit = any(code not in (0, -15) for code in result.exit_codes.values())
+        if result.committed_blocks == 0 or result.violations or bad_exit:
+            failed = True
+            print(f"cluster: {protocol} FAILED "
+                  f"(blocks={result.committed_blocks}, "
+                  f"violations={len(result.violations)}, "
+                  f"exit_codes={result.exit_codes}); "
+                  f"commit logs: {result.log_dir}", file=sys.stderr)
+            for violation in result.violations[:5]:
+                print(f"  [{violation.invariant}] t={violation.time:.3f}s "
+                      f"r{violation.replica}: {violation.detail}",
+                      file=sys.stderr)
+    print(format_table(headers, rows))
+    return 1 if failed else 0
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     print("protocols:", ", ".join(available_protocols()))
     print("figures:  ", ", ".join(sorted(_FIGURES)))
@@ -410,6 +576,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "workload": _cmd_workload,
         "chaos": _cmd_chaos,
+        "cluster": _cmd_cluster,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

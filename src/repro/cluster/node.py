@@ -1,0 +1,439 @@
+"""One protocol replica as a real process over TCP.
+
+``python -m repro.cluster.node --config node.json`` runs a single replica:
+the same sans-io protocol object the simulator drives, served by a
+:class:`ClusterContext` whose sends go through
+:class:`repro.cluster.tcp_transport.TcpTransport`, whose timers are
+monotonic-clock ``call_later`` callbacks, and whose commits append to a
+JSONL commit log the harness harvests after the run.
+
+**Clocks.**  All replicas share a *cluster epoch*: the coordinated start
+instant (``start_at``, unix time) the harness writes into every node
+config.  ``ReplicaContext.now()`` returns monotonic seconds since that
+epoch — wall-clock adjustments cannot move protocol time backwards, and
+fault-schedule windows line up across processes.
+
+**Fault replay.**  A chaos schedule in the config is interpreted at the
+socket layer (:class:`repro.cluster.faults.SocketFaultInjector`) and at
+the dispatch layer: while this replica is inside one of its own crash
+windows, inbound messages and timers are discarded — matching the
+simulator's semantics, where a crashed replica executes nothing and loses
+the timers that came due while it was down.  A replica crashed at time 0
+with a recovery boots late, exactly like the simulator.  Byzantine plants
+in the schedule swap in the same misbehaving replica factories the chaos
+engine uses.
+
+**Workload.**  Clients submit transactions as
+:class:`repro.cluster.wire.ClientSubmit` frames; they land in a local
+mempool drained into proposals by :class:`MempoolSource`, so committed
+payloads carry real client bytes end-to-end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.beacon import RoundRobinBeacon
+from repro.chaos.schedule import ChaosSchedule
+from repro.cluster.faults import SocketFaultInjector
+from repro.cluster.tcp_transport import TcpTransport
+from repro.cluster.wire import ClientSubmit
+from repro.protocols.base import ProtocolParams
+from repro.protocols.registry import create_replicas
+from repro.runtime.context import ReplicaContext, Timer
+from repro.smr.mempool import Mempool
+from repro.types.blocks import Block
+
+#: Exit code when the protocol object raised during execution.
+EXIT_PROTOCOL_ERROR = 3
+
+
+@dataclass
+class NodeConfig:
+    """Everything one replica process needs, JSON-serialisable.
+
+    Attributes:
+        replica_id: this node's replica id.
+        protocol: registered protocol name.
+        n / f / p: replica count, fault bound, fast-path parameter.
+        rank_delay / round_timeout / payload_size: protocol parameters.
+        peers: replica id → ``(host, port)`` for every replica (self
+            included; the node binds its own entry).
+        seed: base seed (fault-injection RNG, synthetic payload tags).
+        duration: seconds of protocol time to run after the epoch.
+        start_at: unix time of the coordinated cluster start; every node
+            begins its protocol at this instant.
+        commit_log: path of the JSONL commit log to append to.
+        summary_path: path of the end-of-run summary JSON.
+        schedule: optional chaos schedule to replay at the socket layer
+            (:meth:`repro.chaos.schedule.ChaosSchedule.to_dict` form).
+        max_block_bytes: per-proposal byte budget drained from the mempool.
+        sign_messages: attach and verify (simulated) signatures.
+    """
+
+    replica_id: int
+    protocol: str
+    n: int
+    f: int
+    p: int
+    peers: Dict[int, Tuple[str, int]]
+    seed: int = 0
+    rank_delay: float = 0.1
+    round_timeout: float = 1.5
+    payload_size: int = 0
+    duration: float = 10.0
+    start_at: float = 0.0
+    commit_log: str = "commit.log"
+    summary_path: str = ""
+    schedule: Optional[Dict[str, object]] = None
+    max_block_bytes: int = 65_536
+    sign_messages: bool = False
+
+    def params(self) -> ProtocolParams:
+        """The protocol parameters of this node."""
+        return ProtocolParams(
+            n=self.n, f=self.f, p=self.p, rank_delay=self.rank_delay,
+            round_timeout=self.round_timeout, payload_size=self.payload_size,
+            sign_messages=self.sign_messages, seed=self.seed,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dictionary (inverse of :meth:`from_dict`)."""
+        return {
+            "replica_id": self.replica_id,
+            "protocol": self.protocol,
+            "n": self.n, "f": self.f, "p": self.p,
+            "peers": {str(rid): list(addr) for rid, addr in self.peers.items()},
+            "seed": self.seed,
+            "rank_delay": self.rank_delay,
+            "round_timeout": self.round_timeout,
+            "payload_size": self.payload_size,
+            "duration": self.duration,
+            "start_at": self.start_at,
+            "commit_log": self.commit_log,
+            "summary_path": self.summary_path,
+            "schedule": self.schedule,
+            "max_block_bytes": self.max_block_bytes,
+            "sign_messages": self.sign_messages,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "NodeConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        return cls(
+            replica_id=int(data["replica_id"]),
+            protocol=str(data["protocol"]),
+            n=int(data["n"]), f=int(data["f"]), p=int(data["p"]),
+            peers={int(rid): (str(addr[0]), int(addr[1]))
+                   for rid, addr in data["peers"].items()},
+            seed=int(data.get("seed", 0)),
+            rank_delay=float(data.get("rank_delay", 0.1)),
+            round_timeout=float(data.get("round_timeout", 1.5)),
+            payload_size=int(data.get("payload_size", 0)),
+            duration=float(data.get("duration", 10.0)),
+            start_at=float(data.get("start_at", 0.0)),
+            commit_log=str(data.get("commit_log", "commit.log")),
+            summary_path=str(data.get("summary_path", "")),
+            schedule=data.get("schedule"),
+            max_block_bytes=int(data.get("max_block_bytes", 65_536)),
+            sign_messages=bool(data.get("sign_messages", False)),
+        )
+
+
+class MempoolSource:
+    """Payload source draining this node's client mempool into proposals.
+
+    With no pending client transactions the node proposes a synthetic
+    payload of the configured logical size (the paper's bit-vector
+    workload), or an empty uniquely-tagged block when ``payload_size`` is
+    0 — an idle SMR system ships cheap empty blocks.
+    """
+
+    def __init__(self, mempool: Mempool, max_block_bytes: int,
+                 payload_size: int = 0) -> None:
+        self.mempool = mempool
+        self.max_block_bytes = max_block_bytes
+        self.payload_size = payload_size
+
+    def payload_for(self, round: int, proposer: int) -> Tuple[bytes, int]:
+        """Return ``(payload_bytes, logical_size)`` for a proposal."""
+        transactions = self.mempool.take(self.max_block_bytes)
+        if transactions:
+            payload = b"".join(transactions)
+            return payload, len(payload)
+        tag = f"cluster:r{round}:p{proposer}".encode("utf-8")
+        return tag, self.payload_size
+
+
+class ClusterContext(ReplicaContext):
+    """The :class:`ReplicaContext` seam served by a live TCP node."""
+
+    def __init__(self, node: "ClusterNode") -> None:
+        self._node = node
+        self._replica_ids = tuple(range(node.config.n))
+
+    @property
+    def replica_id(self) -> int:
+        return self._node.config.replica_id
+
+    @property
+    def replica_ids(self) -> Tuple[int, ...]:
+        return self._replica_ids
+
+    def now(self) -> float:
+        return self._node.now()
+
+    def send(self, receiver: int, message: Any) -> None:
+        self._node.transport.send(receiver, message)
+
+    def broadcast(self, message: Any) -> None:
+        self._node.transport.broadcast(message, self._replica_ids)
+
+    def set_timer(self, delay: float, name: str, data: Any = None) -> int:
+        return self._node.arm_timer(delay, name, data)
+
+    def cancel_timer(self, timer_id: int) -> None:
+        self._node.cancel_timer(timer_id)
+
+    def commit(self, blocks, finalization_kind: str = "slow") -> None:
+        self._node.record_commit(blocks, finalization_kind)
+
+
+class ClusterNode:
+    """One replica process: protocol + transport + timers + commit log."""
+
+    def __init__(self, config: NodeConfig) -> None:
+        self.config = config
+        self.schedule = (ChaosSchedule.from_dict(config.schedule)
+                         if config.schedule else ChaosSchedule())
+        self.injector = SocketFaultInjector(self.schedule, config.replica_id,
+                                            seed=config.seed)
+        self.mempool = Mempool(max_size=100_000)
+        self._source = MempoolSource(self.mempool, config.max_block_bytes,
+                                     config.payload_size)
+        self.protocol = self._build_protocol()
+        self.transport = TcpTransport(
+            replica_id=config.replica_id,
+            peers=config.peers,
+            on_message=self._on_message,
+            clock=self.now,
+            injector=self.injector,
+            on_client_submit=self._on_client_submit,
+        )
+        self._context = ClusterContext(self)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._epoch_monotonic: float = 0.0
+        self._timer_handles: Dict[int, asyncio.TimerHandle] = {}
+        self._next_timer_id = 1
+        self._log_handle = None
+        self._commits = 0
+        self._client_submissions = 0
+        self._client_rejections = 0
+        self._error: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def _build_protocol(self):
+        """Build this node's replica (honest, or a planted byzantine one)."""
+        from repro.chaos.engine import _byzantine_factory, _ensure_protocol_registered
+
+        _ensure_protocol_registered(self.config.protocol)
+        overrides = {}
+        behavior = self.schedule.byzantine().get(self.config.replica_id)
+        if behavior:
+            overrides[self.config.replica_id] = _byzantine_factory(
+                self.config.protocol, behavior)
+        replicas = create_replicas(
+            self.config.protocol,
+            self.config.params(),
+            beacon=RoundRobinBeacon(list(range(self.config.n))),
+            payload_source=self._source,
+            replica_ids=[self.config.replica_id],
+            overrides=overrides,
+        )
+        return replicas[self.config.replica_id]
+
+    # ------------------------------------------------------------------ #
+    # Clock and timers
+    # ------------------------------------------------------------------ #
+
+    def now(self) -> float:
+        """Monotonic seconds since the cluster epoch (may be negative
+        before the coordinated start)."""
+        if self._loop is None:
+            return 0.0
+        return self._loop.time() - self._epoch_monotonic
+
+    def arm_timer(self, delay: float, name: str, data: Any) -> int:
+        if self._loop is None:
+            raise RuntimeError("node not started")
+        timer_id = self._next_timer_id
+        self._next_timer_id += 1
+        timer = Timer(name=name, fire_time=self.now() + delay, data=data,
+                      timer_id=timer_id)
+        handle = self._loop.call_later(max(0.0, delay), self._fire_timer, timer)
+        self._timer_handles[timer_id] = handle
+        return timer_id
+
+    def cancel_timer(self, timer_id: int) -> None:
+        handle = self._timer_handles.pop(timer_id, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _fire_timer(self, timer: Timer) -> None:
+        self._timer_handles.pop(timer.timer_id, None)
+        # Timers that come due inside a crash window are lost, like the
+        # simulator's.
+        if self.injector.self_crashed(self.now()):
+            return
+        self._guarded(self.protocol.on_timer, self._context, timer)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    def _on_message(self, sender: int, message: Any) -> None:
+        if self.injector.self_crashed(self.now()):
+            return
+        self._guarded(self.protocol.on_message, self._context, sender, message)
+
+    def _on_client_submit(self, submit: ClientSubmit) -> None:
+        self._client_submissions += 1
+        if not self.mempool.add(submit.transaction):
+            self._client_rejections += 1
+
+    def _guarded(self, callback, *args) -> None:
+        """Run a protocol callback; a raise is a finding, not a crash loop."""
+        if self._error is not None:
+            return
+        try:
+            callback(*args)
+        except Exception as exc:
+            self._error = f"{type(exc).__name__}: {exc}"
+            self._log_line({"type": "error", "t": round(self.now(), 6),
+                            "replica": self.config.replica_id,
+                            "detail": self._error})
+
+    # ------------------------------------------------------------------ #
+    # Commit log
+    # ------------------------------------------------------------------ #
+
+    def record_commit(self, blocks, finalization_kind: str) -> None:
+        now = round(self.now(), 6)
+        for block in blocks:
+            self._commits += 1
+            self._log_line({
+                "type": "commit",
+                "t": now,
+                "replica": self.config.replica_id,
+                "kind": finalization_kind,
+                "round": block.round,
+                "proposer": block.proposer,
+                "rank": block.rank,
+                "parent_id": block.parent_id,
+                "payload": block.payload.hex(),
+                "payload_size": block.payload_size,
+            })
+
+    def _log_line(self, record: Dict[str, object]) -> None:
+        if self._log_handle is None:
+            return
+        self._log_handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._log_handle.flush()
+
+    # ------------------------------------------------------------------ #
+    # Run loop
+    # ------------------------------------------------------------------ #
+
+    async def run(self) -> int:
+        """Serve the replica until the configured duration; returns the
+        process exit code."""
+        self._loop = asyncio.get_running_loop()
+        config = self.config
+        start_at = config.start_at or (time.time() + 0.2)
+        # Translate the shared unix start instant onto the monotonic clock
+        # once; now() never consults the (steppable) wall clock again.
+        self._epoch_monotonic = self._loop.time() + (start_at - time.time())
+        self._log_handle = open(config.commit_log, "a", encoding="utf-8")
+        host, port = config.peers[config.replica_id]
+        await self.transport.start(host, port)
+
+        delay_to_start = start_at - time.time()
+        if delay_to_start > 0:
+            await asyncio.sleep(delay_to_start)
+
+        plan = self.injector.schedule.to_fault_plan()
+        if plan.is_crashed(config.replica_id, 0.0):
+            # Crashed from the very start: boot at the recovery instant, or
+            # never (the process idles so peers see a live-but-mute socket).
+            recover = plan.crash_schedule.recover_time(config.replica_id)
+            if recover is not None:
+                self._loop.call_later(recover, self._boot)
+        else:
+            self._boot()
+
+        remaining = config.duration - self.now()
+        if remaining > 0:
+            await asyncio.sleep(remaining)
+        await self.transport.stop()
+        for handle in self._timer_handles.values():
+            handle.cancel()
+        self._timer_handles.clear()
+        self._write_summary()
+        if self._log_handle is not None:
+            self._log_handle.close()
+            self._log_handle = None
+        return EXIT_PROTOCOL_ERROR if self._error is not None else 0
+
+    def _boot(self) -> None:
+        self._guarded(self.protocol.on_start, self._context)
+
+    def _write_summary(self) -> None:
+        if not self.config.summary_path:
+            return
+        protocol = self.protocol
+        while hasattr(protocol, "inner"):
+            protocol = protocol.inner
+        summary = {
+            "replica_id": self.config.replica_id,
+            "protocol": self.config.protocol,
+            "commits": self._commits,
+            "client_submissions": self._client_submissions,
+            "client_rejections": self._client_rejections,
+            "proposal_times": {
+                str(block_id): t
+                for block_id, t in getattr(protocol, "proposal_times", {}).items()
+            },
+            "transport": dict(self.transport.stats),
+            "error": self._error,
+        }
+        with open(self.config.summary_path, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def main(argv=None) -> int:
+    """Entry point of ``python -m repro.cluster.node``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cluster.node",
+        description="Run one protocol replica over real TCP sockets.",
+    )
+    parser.add_argument("--config", required=True,
+                        help="path of the node's JSON configuration")
+    args = parser.parse_args(argv)
+    with open(args.config, "r", encoding="utf-8") as handle:
+        config = NodeConfig.from_dict(json.load(handle))
+    node = ClusterNode(config)
+    return asyncio.run(node.run())
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

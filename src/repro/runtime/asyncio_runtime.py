@@ -10,14 +10,20 @@ wall-clock sleeps would make them slow and noisy.
 
 Time can be compressed with ``time_scale``: a scale of 0.1 runs modelled
 delays at 10x speed, keeping relative timing intact.
+
+Messages round-trip through the :mod:`repro.cluster.wire` binary encoding
+on every hop: this in-memory router and the real TCP transport share one
+serialization path, so a message the asyncio stub can route is exactly a
+message the cluster runtime can put on a socket.
 """
 
 from __future__ import annotations
 
 import asyncio
 import random
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.cluster.wire import decode_envelope, encode_envelope
 from repro.runtime.context import ReplicaContext, Timer
 from repro.runtime.simulator import CommitRecord, NetworkConfig
 from repro.types.blocks import Block
@@ -30,14 +36,17 @@ class _AsyncioContext(ReplicaContext):
     def __init__(self, runtime: "AsyncioRuntime", replica_id: int) -> None:
         self._runtime = runtime
         self._replica_id = replica_id
+        # Cached once: protocols read this on every hot-path handler, and
+        # rebuilding a list per call is avoidable allocation churn.
+        self._replica_ids: Tuple[int, ...] = tuple(runtime.replica_ids)
 
     @property
     def replica_id(self) -> int:
         return self._replica_id
 
     @property
-    def replica_ids(self) -> list:
-        return list(self._runtime.replica_ids)
+    def replica_ids(self) -> Tuple[int, ...]:
+        return self._replica_ids
 
     def now(self) -> float:
         return self._runtime.model_time()
@@ -46,7 +55,7 @@ class _AsyncioContext(ReplicaContext):
         self._runtime._route(self._replica_id, receiver, message)
 
     def broadcast(self, message: Message) -> None:
-        for receiver in self._runtime.replica_ids:
+        for receiver in self._replica_ids:
             self._runtime._route(self._replica_id, receiver, message)
 
     def set_timer(self, delay: float, name: str, data: Any = None) -> int:
@@ -137,16 +146,20 @@ class AsyncioRuntime:
         now = self.model_time()
         if self.network.faults.should_drop(sender, receiver, now, self._rng):
             return
+        # The modelled transfer time is driven by the *logical* wire size
+        # (payloads may be virtual), so compute it before serialising.
         size = getattr(message, "wire_size", 0)
         delay = self.network.bandwidth.transfer_time(sender, receiver, size)
         delay += self.network.latency.delay(sender, receiver, self._rng)
+        envelope = encode_envelope(sender, message)
         self._loop.call_later(
-            delay * self.time_scale, self._deliver, sender, receiver, message
+            delay * self.time_scale, self._deliver, receiver, envelope
         )
 
-    def _deliver(self, sender: int, receiver: int, message: Message) -> None:
+    def _deliver(self, receiver: int, envelope: bytes) -> None:
         if self.network.faults.is_crashed(receiver, self.model_time()):
             return
+        sender, message = decode_envelope(envelope)
         self._protocols[receiver].on_message(self._contexts[receiver], sender, message)
 
     def _arm_timer(self, replica_id: int, delay: float, name: str, data: Any) -> int:

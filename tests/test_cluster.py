@@ -1,0 +1,211 @@
+"""Real-cluster tests: liveness over actual TCP, crash-kill recovery, and
+socket-level chaos replay.
+
+These spawn genuine ``python -m repro.cluster.node`` subprocesses talking
+over localhost sockets with monotonic-clock timers — the full distance
+from the simulator.  Horizons are kept short (a few wall-clock seconds per
+cluster) with a small ``rank_delay``, which localhost latency easily
+supports.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.chaos.schedule import ChaosSchedule, Fault
+from repro.cluster.harness import (
+    LocalCluster,
+    cross_validate,
+    encode_transaction,
+    run_local_cluster,
+    split_transactions,
+)
+from repro.cluster.node import MempoolSource, NodeConfig
+from repro.smr.mempool import Mempool
+
+# Cluster-wide timing used by every test: fast ranks (localhost), a short
+# recovery timeout, and a horizon that leaves a checkable liveness tail
+# (liveness bound = round_timeout + 2·n·rank_delay + 2).
+RANK_DELAY = 0.05
+ROUND_TIMEOUT = 0.5
+N = 4
+
+
+# --------------------------------------------------------------------- #
+# Pure helpers (no processes)
+# --------------------------------------------------------------------- #
+
+
+def test_transaction_header_roundtrip():
+    tx = encode_transaction(421, 7, 128)
+    assert len(tx) == 128
+    assert split_transactions(tx) == [(421, 7)]
+    assert split_transactions(tx + encode_transaction(9, 1, 64)) \
+        == [(421, 7), (9, 1)]
+    assert split_transactions(b"cluster:r3:p1") == []
+
+
+def test_mempool_source_drains_and_falls_back():
+    mempool = Mempool()
+    source = MempoolSource(mempool, max_block_bytes=256, payload_size=0)
+    mempool.add(encode_transaction(1, 0, 100))
+    mempool.add(encode_transaction(2, 0, 100))
+    mempool.add(encode_transaction(3, 0, 100))
+    payload, size = source.payload_for(4, 2)
+    # Two 100-byte transactions fit the 256-byte budget; the third waits.
+    assert [tx_id for tx_id, _ in split_transactions(payload)] == [1, 2]
+    assert size == 200
+    payload, _ = source.payload_for(5, 3)
+    assert split_transactions(payload) == [(3, 0)]
+    # Empty mempool: synthetic round-tagged payload of logical size 0.
+    payload, size = source.payload_for(6, 0)
+    assert payload == b"cluster:r6:p0" and size == 0
+
+
+def test_node_config_roundtrip():
+    config = NodeConfig(
+        replica_id=2, protocol="banyan", n=4, f=1, p=1,
+        peers={0: ("127.0.0.1", 9000), 1: ("127.0.0.1", 9001),
+               2: ("127.0.0.1", 9002), 3: ("127.0.0.1", 9003)},
+        schedule=ChaosSchedule(faults=(
+            Fault(kind="crash", replica=1, start=1.0, end=2.0),
+        )).to_dict(),
+    )
+    restored = NodeConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+    assert restored == config
+
+
+# --------------------------------------------------------------------- #
+# Live clusters
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("protocol", ["banyan", "icc", "hotstuff", "streamlet"])
+def test_cluster_commits_within_deadline(protocol, tmp_path):
+    """An n=4 cluster of real processes commits blocks for every protocol,
+    and the committed sequences satisfy the simulator's invariants."""
+    result = run_local_cluster(
+        protocol, N, duration=4.0, rank_delay=RANK_DELAY,
+        round_timeout=ROUND_TIMEOUT, check_invariants=True,
+        log_dir=tmp_path / protocol,
+    )
+    assert result.exit_codes == {rid: 0 for rid in range(N)}, \
+        f"node failures: {result.exit_codes}"
+    assert result.committed_blocks >= 1, \
+        f"{protocol}: no commits at the observer within the deadline"
+    assert result.violations == [], \
+        f"{protocol}: invariants violated: {result.violations}"
+    # Every replica committed (liveness at each node, not just the observer).
+    committed_by = {record.replica_id for record in result.records}
+    assert committed_by == set(range(N))
+
+
+def test_cluster_workload_latency(tmp_path):
+    """Open-loop clients get their transactions committed end-to-end and
+    latency samples are harvested into the metrics pipeline."""
+    result = run_local_cluster(
+        "banyan", N, duration=4.0, rank_delay=RANK_DELAY,
+        round_timeout=ROUND_TIMEOUT, rate=40.0, tx_size=64,
+        check_invariants=True, log_dir=tmp_path,
+    )
+    assert result.violations == []
+    assert len(result.workload.submitted) > 0
+    assert result.workload.commit_ratio > 0.5
+    assert result.workload.latencies
+    assert all(latency > 0 for latency in result.workload.latencies)
+    assert result.metrics.latency_samples  # simulator-shaped RunMetrics
+
+
+def test_cluster_survives_sigkill_and_restart(tmp_path):
+    """SIGKILL one replica mid-run, restart it, and require the surviving
+    quorum to keep committing throughout; the restarted process rejoins
+    the network (its fresh chain is excluded from ancestry checks)."""
+    duration = 7.0
+    cluster = LocalCluster(
+        "banyan", N, duration=duration, log_dir=tmp_path,
+        rank_delay=RANK_DELAY, round_timeout=ROUND_TIMEOUT,
+    )
+    cluster.start()
+    try:
+        kill_at = cluster.start_at + 2.0
+        time.sleep(max(0.0, kill_at - time.time()))
+        cluster.kill(3)
+        time.sleep(1.5)
+        cluster.restart(3)
+        exit_codes = cluster.wait()
+    finally:
+        cluster.stop()
+    records, errors = cluster.commit_records()
+    assert errors == []
+    assert all(exit_codes[rid] == 0 for rid in range(3)), exit_codes
+    # The survivors kept committing *after* the kill.
+    for rid in range(3):
+        later = [r for r in records
+                 if r.replica_id == rid and r.commit_time > 3.5]
+        assert later, f"replica {rid} stopped committing after the kill"
+    violations = cross_validate(
+        records, n=N, schedule=ChaosSchedule(), duration=duration,
+        liveness_bound=ROUND_TIMEOUT + 2 * N * RANK_DELAY + 2.0,
+        errors=errors, exclude=(3,),
+    )
+    assert violations == [], violations
+
+
+def test_cluster_replays_chaos_schedule_to_expected_verdict(tmp_path):
+    """A replayed fault schedule produces the verdict the fault model
+    predicts: a recovering crash stays clean; losing the quorum (two
+    permanent crashes with f=1) trips the liveness invariant and nothing
+    else."""
+    benign = ChaosSchedule(faults=(
+        Fault(kind="crash", replica=3, start=1.0, end=2.0),
+    ))
+    result = run_local_cluster(
+        "banyan", N, duration=6.0, rank_delay=RANK_DELAY,
+        round_timeout=ROUND_TIMEOUT, schedule=benign,
+        check_invariants=True, log_dir=tmp_path / "benign",
+    )
+    assert result.committed_blocks >= 1
+    assert result.violations == [], result.violations
+
+    # Crashes at t=0 so no in-flight certificate can sneak a commit past
+    # the heal instant — the verdict is deterministic: the two survivors
+    # never reach quorum and never commit.
+    quorum_loss = ChaosSchedule(faults=(
+        Fault(kind="crash", replica=2, start=0.0),
+        Fault(kind="crash", replica=3, start=0.0),
+    ))
+    result = run_local_cluster(
+        "banyan", N, duration=6.0, rank_delay=RANK_DELAY,
+        round_timeout=ROUND_TIMEOUT, schedule=quorum_loss,
+        check_invariants=True, log_dir=tmp_path / "quorum-loss",
+    )
+    assert result.violations, "quorum loss must trip the liveness check"
+    assert {v.invariant for v in result.violations} == {"liveness"}
+    assert result.committed_blocks == 0
+
+
+def test_cluster_cli_replays_repro_file(tmp_path, capsys):
+    """``banyan-repro cluster --replay`` consumes the chaos engine's shrunk
+    repro JSON format and reports the real-cluster verdict via exit code."""
+    from repro.chaos.engine import ChaosTrialSpec
+    from repro.cli import main
+
+    spec = ChaosTrialSpec(protocol="banyan", n=N, f=1, p=1,
+                          rank_delay=RANK_DELAY, round_timeout=ROUND_TIMEOUT,
+                          payload_size=0, duration=6.0)
+    schedule = ChaosSchedule(faults=(
+        Fault(kind="crash", replica=2, start=0.0),
+        Fault(kind="crash", replica=3, start=0.0),
+    ))
+    repro = tmp_path / "repro.json"
+    repro.write_text(json.dumps({
+        "spec": spec.to_dict(),
+        "schedule": schedule.to_dict(),
+    }), encoding="utf-8")
+    code = main(["cluster", "--replay", str(repro), "--duration", "6",
+                 "--log-dir", str(tmp_path / "logs")])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "liveness" in out
