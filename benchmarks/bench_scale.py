@@ -1,0 +1,177 @@
+"""Scale benchmark: event-loop throughput and fluid workloads up to n=256.
+
+Three measurements gate the scaling work:
+
+* **Flood events/sec at n=64/128/256** — the protocol-free broadcast-heavy
+  mix of :mod:`benchmarks.bench_simulator`, extended to datacenter-scale
+  replica counts.  This isolates the event queue plus transport (the
+  same-instant delivery batching and vectorised uplink drain).
+* **Exact vs fluid at n=64** — the same Banyan workload run once with the
+  per-transaction client model and once with the aggregated-flow model,
+  recording wall-clock and goodput side by side.  Fluid must be cheaper to
+  run while agreeing on the measured goodput (the cross-validation *bounds*
+  are pinned by ``tests/test_fluid.py``; this bench records the numbers).
+* **The n=256 gate** — a million modeled clients over the measured WAN RTT
+  matrix at n=256 must complete in under 60 s of wall-clock time.
+
+One ``BENCH_bench_scale.json`` record is emitted per run;
+``benchmarks/check_trend.py`` compares a fresh record against the committed
+baseline and fails CI on a >20% events/sec regression.
+
+Set ``BANYAN_SCALE_SMOKE=1`` to run the reduced CI variant (smaller replica
+counts and shorter horizons, recorded as ``BENCH_bench_scale_smoke.json``
+so smoke runs are compared against a smoke baseline).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from types import SimpleNamespace
+
+from benchmarks.bench_simulator import TICK, FloodProtocol
+from benchmarks.conftest import emit_bench_record, paper_comparison
+
+from repro.eval.experiment import ExperimentConfig, run_experiment
+from repro.net.faults import FaultPlan
+from repro.net.latency import ConstantLatency
+from repro.protocols.base import ProtocolParams
+from repro.runtime.simulator import NetworkConfig, Simulation
+from repro.workload.spec import WorkloadSpec
+
+#: Environment toggle for the reduced CI variant.
+SMOKE_ENV = "BANYAN_SCALE_SMOKE"
+
+#: Wall-clock budget (seconds) for the n=256 million-user fluid run.
+GATE_WALL_S = 60.0
+
+
+def _smoke() -> bool:
+    return bool(os.environ.get(SMOKE_ENV))
+
+
+def _flood_counts() -> tuple:
+    return (16, 32, 64) if _smoke() else (64, 128, 256)
+
+
+def _flood_duration(n: int) -> float:
+    # Sized so every run processes >=10^5 deliveries but the n=256 case
+    # stays around one million events (n**2 / TICK per simulated second).
+    if _smoke():
+        return 0.5
+    return {64: 4.0, 128: 1.0, 256: 0.25}[n]
+
+
+def _run_flood(n: int) -> dict:
+    """One broadcast-heavy protocol-free run; returns its throughput row."""
+    params = ProtocolParams(n=n, f=0, p=0)
+    protocols = {i: FloodProtocol(i, params) for i in range(n)}
+    network = NetworkConfig(latency=ConstantLatency(0.02), faults=FaultPlan.none(),
+                            seed=0)
+    simulation = Simulation(protocols, network)
+    duration = _flood_duration(n)
+    start = time.perf_counter()
+    simulation.run(until=duration)
+    wall = time.perf_counter() - start
+    events = simulation.messages_delivered + sum(
+        protocol.timer_fires for protocol in protocols.values()
+    )
+    return {
+        "n": n,
+        "sim_seconds": duration,
+        "events": events,
+        "wall_s": round(wall, 4),
+        "events_per_s": round(events / wall, 1),
+    }
+
+
+def _scale_params(n: int) -> ProtocolParams:
+    # f = p = (n - 1) // 5 keeps the fast path available (n >= 3f + 2p + 1)
+    # at every benchmarked size.
+    bound = (n - 1) // 5
+    return ProtocolParams(n=n, f=bound, p=bound)
+
+
+def _workload_config(n: int, fluid: bool, duration: float,
+                     num_clients: int, rate: float) -> ExperimentConfig:
+    return ExperimentConfig(
+        protocol="banyan",
+        params=_scale_params(n),
+        workload=WorkloadSpec(
+            mode="open", arrival="poisson", rate=rate,
+            num_clients=num_clients, tx_size=256,
+            sample_interval=1.0, seed=0, fluid=fluid,
+        ),
+        duration=duration,
+        warmup=min(1.0, duration / 4),
+        seed=1,
+        latency_model="wan-matrix",
+    )
+
+
+def _run_workload(n: int, fluid: bool, duration: float,
+                  num_clients: int, rate: float) -> dict:
+    config = _workload_config(n, fluid, duration, num_clients, rate)
+    start = time.perf_counter()
+    result = run_experiment(config)
+    wall = time.perf_counter() - start
+    workload = result.workload
+    events = result.messages_sent
+    return {
+        "n": n,
+        "mode": "fluid" if fluid else "exact",
+        "clients": num_clients,
+        "sim_seconds": duration,
+        "wall_s": round(wall, 4),
+        "events": events,
+        "events_per_s": round(events / wall, 1),
+        "submitted_tx": workload.submitted,
+        "committed_tx": workload.committed,
+        "goodput_tx_per_s": round(workload.goodput_tx_per_s, 1),
+        "tx_p50_ms": round(workload.p50_latency * 1000, 1),
+    }
+
+
+def test_scale_throughput(benchmark) -> None:
+    """Flood events/sec, exact-vs-fluid wall-clock, and the n=256 gate."""
+    smoke = _smoke()
+
+    def _measure() -> dict:
+        flood = [_run_flood(n) for n in _flood_counts()]
+        # Exact vs fluid on one overlapping mid-size config: the exact
+        # model pays one event per transaction, the fluid model one per
+        # (replica, tick) — same protocol traffic, same offered load.
+        compare_n = 16 if smoke else 64
+        compare = [
+            _run_workload(compare_n, fluid, duration=2.0,
+                          num_clients=2_000, rate=2_000.0)
+            for fluid in (False, True)
+        ]
+        # The acceptance gate: a million modeled users at n=256 (64 in the
+        # smoke variant) must complete within the wall-clock budget.
+        gate_n = 64 if smoke else 256
+        gate_duration = 1.0 if smoke else 0.75
+        gate = _run_workload(gate_n, fluid=True, duration=gate_duration,
+                             num_clients=1_000_000, rate=20_000.0)
+        gate["under_60s"] = gate["wall_s"] < GATE_WALL_S
+        return {"flood": flood, "exact_vs_fluid": compare, "gate": [gate]}
+
+    series = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    total_wall = sum(row["wall_s"] for rows in series.values() for row in rows)
+    name = "bench_scale_smoke" if smoke else "bench_scale"
+    emit_bench_record(
+        name, total_wall,
+        SimpleNamespace(figure=name.replace("_", "-"), replications=1,
+                        series=series),
+    )
+    paper_comparison(series["flood"])
+    paper_comparison(series["exact_vs_fluid"])
+    paper_comparison(series["gate"])
+    assert all(row["events"] > 0 for row in series["flood"])
+    gate_row = series["gate"][0]
+    assert gate_row["committed_tx"] > 0, "gate run committed nothing"
+    if not smoke:
+        assert gate_row["under_60s"], (
+            f"n=256 million-user fluid run took {gate_row['wall_s']:.1f}s "
+            f"(budget {GATE_WALL_S:.0f}s)"
+        )

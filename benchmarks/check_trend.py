@@ -1,0 +1,98 @@
+"""Compare a fresh benchmark record against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_trend.py \
+        --baseline benchmarks/results/BENCH_bench_scale_smoke.json \
+        --current fresh-bench/BENCH_bench_scale_smoke.json
+
+Rows are matched by ``(series name, n, mode)`` across the two records'
+``series`` maps; any matched row whose ``events_per_s`` falls more than the
+tolerance below the baseline fails the check (exit code 1).  Rows present
+on one side only are reported but do not fail — adding a replica count to
+the bench must not break CI retroactively.
+
+The default tolerance is 20% (the regression budget from the scaling work);
+override with ``BANYAN_TREND_TOLERANCE`` (e.g. ``0.35``) when comparing
+across machines with very different single-core throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Tuple
+
+TOLERANCE_ENV = "BANYAN_TREND_TOLERANCE"
+DEFAULT_TOLERANCE = 0.20
+
+#: The throughput metric compared per row.
+METRIC = "events_per_s"
+
+
+def _load_rows(path: str) -> Dict[Tuple[str, object, object], float]:
+    """Flatten a BENCH record's series into ``(series, n, mode) -> metric``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        record = json.load(handle)
+    rows: Dict[Tuple[str, object, object], float] = {}
+    for series_name, series_rows in record.get("series", {}).items():
+        for row in series_rows:
+            if METRIC not in row:
+                continue
+            key = (series_name, row.get("n"), row.get("mode"))
+            rows[key] = float(row[METRIC])
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_*.json record")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced BENCH_*.json record")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get(TOLERANCE_ENV,
+                                                     DEFAULT_TOLERANCE)),
+                        help="allowed relative events/s drop "
+                             f"(default {DEFAULT_TOLERANCE}, "
+                             f"env {TOLERANCE_ENV})")
+    args = parser.parse_args(argv)
+    if not 0 <= args.tolerance < 1:
+        parser.error("tolerance must be in [0, 1)")
+
+    baseline = _load_rows(args.baseline)
+    current = _load_rows(args.current)
+    shared = sorted(set(baseline) & set(current), key=repr)
+    if not shared:
+        print(f"check_trend: no comparable {METRIC} rows between "
+              f"{args.baseline} and {args.current}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for key in shared:
+        before, after = baseline[key], current[key]
+        floor = before * (1.0 - args.tolerance)
+        change = (after - before) / before * 100.0
+        verdict = "ok" if after >= floor else "REGRESSION"
+        if verdict != "ok":
+            failures += 1
+        series, n, mode = key
+        label = f"{series} n={n}" + (f" mode={mode}" if mode else "")
+        print(f"{verdict:>10}  {label:<28} {METRIC}: "
+              f"{before:>12.1f} -> {after:>12.1f}  ({change:+.1f}%)")
+    for key in sorted(set(baseline) - set(current), key=repr):
+        print(f"{'missing':>10}  {key} present only in the baseline")
+    for key in sorted(set(current) - set(baseline), key=repr):
+        print(f"{'new':>10}  {key} present only in the current record")
+
+    if failures:
+        print(f"check_trend: {failures} row(s) regressed more than "
+              f"{args.tolerance:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,7 @@ from repro.eval import scenarios
 from repro.eval.plan import ExperimentPlan, ExperimentSpec
 from repro.eval.runner import ProgressEvent
 from repro.eval.table1 import table1_rows
+from repro.net.latency import available_latency_models
 from repro.net.topology import TOPOLOGY_FACTORIES
 from repro.net.transport import available_transports
 from repro.runtime.compute import available_compute_models
@@ -118,6 +119,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--payload", type=int, default=400_000, help="payload size in bytes")
     run_parser.add_argument("--duration", type=float, default=20.0)
     run_parser.add_argument("--topology", choices=sorted(TOPOLOGY_FACTORIES), default="global4")
+    run_parser.add_argument("--latency-model", choices=available_latency_models(),
+                            default="geo",
+                            help="topology latency model: geodesic estimate or "
+                                 "the measured inter-region RTT matrix")
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--transport", choices=available_transports(),
                             default="direct",
@@ -321,7 +326,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                           relays=args.relays if args.relays is not None else 2,
                           compute=args.compute,
                           compute_scale=(args.compute_scale
-                                         if args.compute_scale is not None else 1.0))
+                                         if args.compute_scale is not None else 1.0),
+                          latency_model=args.latency_model)
     plan = ExperimentPlan(name="run", title="custom experiment",
                           specs=[spec]).with_replications(args.seeds)
     runner = _runner_kwargs(args)
@@ -563,6 +569,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("protocols:", ", ".join(available_protocols()))
     print("figures:  ", ", ".join(sorted(_FIGURES)))
     print("workloads:", ", ".join(sorted(_WORKLOADS)))
+    print("latency models:", ", ".join(available_latency_models()))
     return 0
 
 

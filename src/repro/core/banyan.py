@@ -244,6 +244,10 @@ class BanyanReplica(ICCReplica):
             self._try_advance(ctx, round_k)
 
     def _try_fast_finalization(self, ctx: ReplicaContext, round_k: int) -> None:
+        if round_k <= self.k_max:
+            # Already finalized at or past this round; nothing a fast
+            # quorum here could add (hot path: every fast vote re-checks).
+            return
         state = self._fast_state(round_k)
         for block_id in state.fast_finalizable_blocks():
             if round_k > self.k_max and block_id in self.tree:
@@ -289,8 +293,7 @@ class BanyanReplica(ICCReplica):
         if isinstance(certificate, FastFinalization):
             if certificate.verify(None, self.fast_quorum):
                 state = self._fast_state(certificate.round)
-                for voter in certificate.voters:
-                    state.record_fast_vote(certificate.block_id, voter)
+                state.merge_fast_votes(certificate.block_id, certificate.voters)
                 if certificate.block_id in self.tree:
                     self._finalize(ctx, certificate.round, certificate.block_id, kind="fast")
                 else:

@@ -61,6 +61,16 @@ class FastPathState:
         self._block_ranks: Dict[BlockId, int] = {}
         #: Whether Condition 2 has been met (sticky for the round).
         self._all_unlocked = False
+        #: Received blocks with rank != 0 (``nonLeaderBlocks(k)`` as a set).
+        self._non_leader: Set[BlockId] = set()
+        #: ``supp(nonLeaderBlocks(k))`` maintained incrementally as votes
+        #: and blocks arrive, so :meth:`evaluate_unlocks` — called on every
+        #: fast vote — does not rebuild the union each time.
+        self._non_leader_support: Set[int] = set()
+        #: Blocks already unlocked via Condition 1.  Support only grows, so
+        #: the condition is monotone and the set is sticky — re-evaluation
+        #: skips these.
+        self._unlocked: Set[BlockId] = set()
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -68,16 +78,27 @@ class FastPathState:
 
     def record_block(self, block_id: BlockId, rank: int) -> None:
         """Register a received round-``k`` block and its rank."""
-        self._block_ranks.setdefault(block_id, rank)
+        if block_id not in self._block_ranks:
+            self._block_ranks[block_id] = rank
+            if rank != 0:
+                self._non_leader.add(block_id)
+                # Votes may precede the block: fold its existing support in.
+                self._non_leader_support |= self._support.voters(block_id)
 
     def record_fast_vote(self, block_id: BlockId, voter: int) -> None:
         """Register a fast vote from ``voter`` for ``block_id``."""
-        self._support.add_vote(block_id, voter)
+        if self._support.add_vote(block_id, voter) and block_id in self._non_leader:
+            self._non_leader_support.add(voter)
+
+    def merge_fast_votes(self, block_id: BlockId, voters: Iterable[int]) -> None:
+        """Register a certificate's fast votes for ``block_id`` in bulk."""
+        if self._support.add_voters(block_id, voters) and block_id in self._non_leader:
+            self._non_leader_support |= set(voters)
 
     def merge_unlock_proof(self, proof: UnlockProof) -> None:
         """Merge the voter sets carried by an unlock proof (Addition 1/2)."""
         for block_id, voters in proof.votes_by_block:
-            self._support.add_voters(block_id, voters)
+            self.merge_fast_votes(block_id, voters)
 
     # ------------------------------------------------------------------ #
     # Queries (Definitions 7.1 – 7.5)
@@ -137,22 +158,53 @@ class FastPathState:
         Condition 2 is sticky: once met, all current *and future* blocks of
         the round are unlocked, so later calls keep returning
         ``all_unlocked=True``.
+
+        Called on every fast vote and unlock-proof merge, so both
+        conditions are evaluated incrementally: Condition 1 is monotone
+        (support only grows) and skips already-unlocked blocks, and
+        ``supp(nonLeaderBlocks)`` is the maintained running union rather
+        than rebuilt per call.  In an uncontested round (one rank-0 block,
+        no non-leader blocks) a call is O(1) per pending block instead of
+        O(n) set unions.
         """
-        non_leader_support = self.support_of(self.non_leader_blocks())
-        unlocked: Set[BlockId] = set()
+        non_leader_support = self._non_leader_support
+        nls_size = len(non_leader_support)
+        threshold = self.unlock_threshold
+        unlocked = self._unlocked
         for block_id in self._block_ranks:
-            combined = set(self._support.voters(block_id)) | set(non_leader_support)
-            if len(combined) > self.unlock_threshold:
+            if block_id in unlocked:
+                continue
+            if nls_size == 0:
+                combined = self._support.count(block_id)
+            else:
+                # |supp(b) ∪ NLS| without materialising the union.
+                combined = nls_size + self._support.count_outside(
+                    block_id, non_leader_support
+                )
+            if combined > threshold:
                 unlocked.add(block_id)
-        if not self._all_unlocked:
-            if len(self.support_of(self.non_max_blocks())) > self.unlock_threshold:
+        if not self._all_unlocked and (
+            len(self._block_ranks) > 1 or self._non_leader
+        ):
+            # Otherwise nonMaxBlocks(k) is empty (at most one received
+            # block, of rank 0) and Condition 2 cannot hold — the
+            # uncontested-round fast exit.
+            non_max = self.non_max_blocks()
+            if non_max and len(self.support_of(non_max)) > threshold:
                 self._all_unlocked = True
         if self._all_unlocked:
-            unlocked.update(self._block_ranks)
-        return UnlockDecision(unlocked_blocks=frozenset(unlocked), all_unlocked=self._all_unlocked)
+            return UnlockDecision(
+                unlocked_blocks=frozenset(self._block_ranks),
+                all_unlocked=True,
+            )
+        return UnlockDecision(unlocked_blocks=frozenset(unlocked), all_unlocked=False)
 
     def fast_finalizable_blocks(self) -> List[BlockId]:
         """Rank-0 blocks whose support reaches the fast quorum ``n - p``."""
+        if not self._support.fired_count():
+            # No block has reached the fast quorum yet — skip the scan
+            # (this runs on every fast vote of the round).
+            return []
         return [
             block_id
             for block_id in self.rank_zero_blocks()

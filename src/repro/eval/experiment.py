@@ -17,7 +17,7 @@ from repro.byzantine.behaviors import DelayedReplica
 from repro.net.bandwidth import BandwidthModel
 from repro.net.faults import FaultPlan
 from repro.net.transport import ContendedUplinkTransport
-from repro.net.latency import GeoLatency, LatencyModel
+from repro.net.latency import LatencyModel, build_latency_model
 from repro.net.topology import (
     Topology,
     four_global_datacenters,
@@ -29,7 +29,6 @@ from repro.protocols.registry import create_replicas
 from repro.runtime.simulator import NetworkConfig, Simulation
 from repro.smr.metrics import MetricsCollector, RunMetrics, WorkloadMetrics
 from repro.smr.mempool import PayloadSource
-from repro.workload.payloads import MempoolPayloadSource
 from repro.workload.spec import WorkloadSpec
 
 #: The contended transport's default uplink, in Mbit/s (1 Mbit/s = 125 000
@@ -52,8 +51,12 @@ class ExperimentConfig:
         warmup: initial seconds excluded from the measurements.
         seed: simulation seed (latency jitter, drops).
         faults: crash / drop / partition plan.
-        latency: override the latency model (defaults to
-            :class:`repro.net.latency.GeoLatency` over ``topology``).
+        latency: override the latency model with a ready instance (takes
+            precedence over ``latency_model``; not serialisable).
+        latency_model: name of the topology-derived latency model to build,
+            registered in :data:`repro.net.latency.LATENCY_MODELS` —
+            ``"geo"`` (great-circle estimate, the default) or
+            ``"wan-matrix"`` (measured cloud-region RTTs).
         observer: replica whose commits define throughput; defaults to the
             lowest-id non-crashed replica.
         label: label used in reports (defaults to the protocol name).
@@ -91,6 +94,7 @@ class ExperimentConfig:
     seed: int = 0
     faults: FaultPlan = field(default_factory=FaultPlan.none)
     latency: Optional[LatencyModel] = None
+    latency_model: str = "geo"
     observer: Optional[int] = None
     label: Optional[str] = None
     workload: Optional[WorkloadSpec] = None
@@ -148,6 +152,7 @@ class ExperimentConfig:
         }
         data.update(_transport_fields(self.transport, self.uplink_mbps, self.relays))
         data.update(_compute_fields(self.compute, self.compute_scale))
+        data.update(_latency_fields(self.latency_model))
         return data
 
     @classmethod
@@ -179,6 +184,7 @@ class ExperimentConfig:
             relays=int(data.get("relays", 2)),
             compute=str(data.get("compute", "zero")),
             compute_scale=float(data.get("compute_scale", 1.0)),
+            latency_model=str(data.get("latency_model", "geo")),
         )
 
 
@@ -218,6 +224,18 @@ def _compute_fields(compute: str, compute_scale: float) -> Dict[str, object]:
         if compute_scale != 1.0:
             fields["compute_scale"] = compute_scale
     return fields
+
+
+def _latency_fields(latency_model: str) -> Dict[str, object]:
+    """The non-default latency field of a config/spec dictionary.
+
+    Mirrors :func:`_transport_fields`: the default (``"geo"``) is omitted so
+    serialised forms — and content hashes of cached results — of existing
+    configs are unchanged.
+    """
+    if latency_model != "geo":
+        return {"latency_model": latency_model}
+    return {}
 
 
 @dataclass
@@ -319,7 +337,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         raise ValueError(
             f"topology has {topology.n} replicas but params.n={config.params.n}"
         )
-    latency = config.latency or GeoLatency(topology)
+    latency = config.latency or build_latency_model(config.latency_model, topology)
     bandwidth = BandwidthModel(topology=topology)
     network = NetworkConfig(
         latency=latency, bandwidth=bandwidth, faults=config.faults, seed=config.seed,
@@ -336,9 +354,12 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     pool = None
     if config.workload is not None:
         # Proposals carry real pending transactions; idle rounds stay empty.
+        # The pool is either the exact per-transaction ClientPool or the
+        # aggregated FluidClientPool (workload.fluid); both build their own
+        # matching payload source.
         pool = config.workload.build_pool()
-        payload_source = MempoolPayloadSource(
-            pool, max_block_bytes=config.workload.max_block_bytes
+        payload_source = pool.payload_source(
+            max_block_bytes=config.workload.max_block_bytes
         )
     else:
         payload_source = PayloadSource(config.params.payload_size)

@@ -27,7 +27,12 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.eval.experiment import ExperimentConfig, _compute_fields, _transport_fields
+from repro.eval.experiment import (
+    ExperimentConfig,
+    _compute_fields,
+    _latency_fields,
+    _transport_fields,
+)
 from repro.net.faults import FaultPlan
 from repro.net.topology import (
     Topology,
@@ -105,6 +110,8 @@ class ExperimentSpec:
         relays: relay fan-out for the relay transport.
         compute: replica compute-model name (``"zero"``, ``"crypto"``).
         compute_scale: cost multiplier for the crypto compute model.
+        latency_model: topology-derived latency model name (``"geo"``,
+            ``"wan-matrix"``).
         series: figure series this cell belongs to (defaults to ``label``).
         cell: identifier of the cell within its series (e.g.
             ``"payload=400000"``); replications of one cell share it.
@@ -129,6 +136,7 @@ class ExperimentSpec:
     relays: int = 2
     compute: str = "zero"
     compute_scale: float = 1.0
+    latency_model: str = "geo"
     series: Optional[str] = None
     cell: str = ""
     replication: int = 0
@@ -169,6 +177,7 @@ class ExperimentSpec:
             relays=self.relays,
             compute=self.compute,
             compute_scale=self.compute_scale,
+            latency_model=self.latency_model,
         )
 
     @classmethod
@@ -208,6 +217,7 @@ class ExperimentSpec:
             relays=config.relays,
             compute=config.compute,
             compute_scale=config.compute_scale,
+            latency_model=config.latency_model,
             **meta,
         )
 
@@ -245,6 +255,7 @@ class ExperimentSpec:
         }
         data.update(_transport_fields(self.transport, self.uplink_mbps, self.relays))
         data.update(_compute_fields(self.compute, self.compute_scale))
+        data.update(_latency_fields(self.latency_model))
         return data
 
     @classmethod
@@ -272,6 +283,7 @@ class ExperimentSpec:
             relays=int(data.get("relays", 2)),
             compute=str(data.get("compute", "zero")),
             compute_scale=float(data.get("compute_scale", 1.0)),
+            latency_model=str(data.get("latency_model", "geo")),
             series=data.get("series"),
             cell=str(data.get("cell", "")),
             replication=int(data.get("replication", 0)),

@@ -531,6 +531,65 @@ def flash_crowd(base_rate: float = 15.0, burst_rate: float = 250.0,
                       progress=progress)
 
 
+def plan_scale_sweep(replica_counts: Sequence[int] = (64, 128, 256),
+                     rate: float = 20_000.0, num_clients: int = 1_000_000,
+                     tx_size: int = 256, protocol: str = "banyan",
+                     duration: float = 2.0, warmup: float = 0.5,
+                     seed: int = 0, seeds: int = 1) -> ExperimentPlan:
+    """Plan for the datacenter-scale sweep: fluid clients over the WAN matrix.
+
+    One cell per replica count, each running the fluid client model
+    (million-user populations collapse to one injection event per replica
+    per tick) on the worldwide topology under the measured inter-region RTT
+    matrix.  ``f = p = (n - 1) // 5`` keeps the fast path available at
+    every size (``n >= 3f + 2p + 1``).
+    """
+    specs = [
+        ExperimentSpec(
+            protocol=protocol,
+            params=ProtocolParams(n=n, f=(n - 1) // 5, p=(n - 1) // 5,
+                                  rank_delay=GLOBAL_RANK_DELAY),
+            topology="worldwide", duration=duration, warmup=warmup,
+            seed=seed, label=f"{protocol} (n={n}, fluid)",
+            workload=WorkloadSpec(
+                mode="open", arrival="poisson", rate=rate,
+                num_clients=num_clients, tx_size=tx_size,
+                sample_interval=1.0, seed=seed, fluid=True,
+            ),
+            latency_model="wan-matrix",
+            series=protocol, cell=f"n={n}", axis={"n": n},
+        )
+        for n in replica_counts
+    ]
+    return ExperimentPlan(
+        name="workload-scale",
+        title=f"fluid-workload scale sweep, {protocol} on the WAN matrix",
+        specs=specs,
+        columns=list(WORKLOAD_COLUMNS),
+    ).with_replications(seeds)
+
+
+def scale_sweep(replica_counts: Sequence[int] = (64, 128, 256),
+                rate: float = 20_000.0, num_clients: int = 1_000_000,
+                tx_size: int = 256, protocol: str = "banyan",
+                duration: float = 2.0, warmup: float = 0.5,
+                seed: int = 0, seeds: int = 1, jobs: int = 1,
+                cache_dir: Optional[str] = None, use_cache: bool = True,
+                progress: Optional[ProgressCallback] = None) -> FigureResult:
+    """Datacenter-scale sweep: goodput and latency up to n=256 replicas.
+
+    The fluid workload keeps the event count independent of the client
+    population, so a million modeled users at n=256 costs the same number
+    of workload events as eight users — the run time is dominated by the
+    protocol's own message complexity.
+    """
+    return run_figure(plan_scale_sweep(replica_counts, rate, num_clients,
+                                       tx_size, protocol, duration, warmup,
+                                       seed, seeds),
+                      jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                      progress=progress)
+
+
 # --------------------------------------------------------------------- #
 # Transport scenarios (beyond the paper: dissemination strategies)
 # --------------------------------------------------------------------- #

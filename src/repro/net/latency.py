@@ -12,7 +12,7 @@ import random
 from abc import ABC, abstractmethod
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.net.topology import Topology
+from repro.net.topology import Topology, region_rtt_ms
 
 
 class LatencyModel(ABC):
@@ -179,3 +179,105 @@ class GeoLatency(LatencyModel):
     def expected_delay(self, sender: int, receiver: int) -> float:
         """Return the nominal delay scaled by the mean jitter."""
         return self._nominal(sender, receiver) * (1.0 + self._jitter / 2)
+
+
+class WanMatrixLatency(LatencyModel):
+    """Measured cloud-region RTTs mapped onto a :class:`Topology`.
+
+    Where :class:`GeoLatency` *estimates* delay from great-circle distance,
+    this model uses the measured inter-region round-trip matrix
+    (:data:`repro.net.topology.AWS_REGION_RTT_MS`): the nominal one-way
+    delay between replicas in regions ``A`` and ``B`` is ``RTT(A, B) / 2``,
+    which carries real routing artefacts (submarine cable paths, peering
+    detours) the geodesic model cannot.  Pairs without a measurement fall
+    back to the great-circle estimate with :class:`GeoLatency`'s default
+    coefficients.  Same-datacenter replicas see the small local delay;
+    jitter is multiplicative, exactly as in the other models.
+
+    Nominal delays are cached per replica pair — at n=256 that is up to
+    ``n^2`` entries resolved once, then O(1) per message.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        jitter: float = 0.05,
+        local_delay_s: float = 0.0008,
+        fallback_base_s: float = 0.002,
+        fallback_km_per_s: float = 100_000.0,
+    ) -> None:
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if fallback_km_per_s <= 0:
+            raise ValueError("fallback_km_per_s must be positive")
+        self._topology = topology
+        self._jitter = jitter
+        self._local = local_delay_s
+        self._fallback_base = fallback_base_s
+        self._fallback_km_per_s = fallback_km_per_s
+        self._cache: Dict[Tuple[int, int], float] = {}
+
+    @property
+    def topology(self) -> Topology:
+        """The topology this model is derived from."""
+        return self._topology
+
+    def _nominal(self, sender: int, receiver: int) -> float:
+        if sender == receiver:
+            return self._local / 2
+        key = (sender, receiver)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if self._topology.colocated(sender, receiver):
+            value = self._local
+        else:
+            rtt = region_rtt_ms(self._topology.datacenter(sender).name,
+                                self._topology.datacenter(receiver).name)
+            if rtt is not None:
+                value = rtt / 2000.0  # half the RTT, ms -> s
+            else:
+                distance = self._topology.distance_km(sender, receiver)
+                value = self._fallback_base + distance / self._fallback_km_per_s
+        self._cache[key] = value
+        return value
+
+    def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
+        """Return the measured-RTT delay with multiplicative jitter."""
+        nominal = self._nominal(sender, receiver)
+        if self._jitter <= 0:
+            return nominal
+        return nominal * (1.0 + rng.uniform(0.0, self._jitter))
+
+    def expected_delay(self, sender: int, receiver: int) -> float:
+        """Return the nominal delay scaled by the mean jitter."""
+        return self._nominal(sender, receiver) * (1.0 + self._jitter / 2)
+
+
+#: Topology-derived latency models selectable by name through
+#: :class:`repro.eval.experiment.ExperimentConfig` and the CLI.
+LATENCY_MODELS = {
+    "geo": GeoLatency,
+    "wan-matrix": WanMatrixLatency,
+}
+
+
+def available_latency_models() -> list:
+    """The registered topology-latency model names, sorted."""
+    return sorted(LATENCY_MODELS)
+
+
+def build_latency_model(name: str, topology: Topology) -> LatencyModel:
+    """Build the named topology-derived latency model.
+
+    Raises:
+        KeyError: for a name outside :data:`LATENCY_MODELS`.
+    """
+    try:
+        factory = LATENCY_MODELS[name]
+    except KeyError:
+        available = ", ".join(available_latency_models())
+        raise KeyError(
+            f"unknown latency model {name!r} (available: {available})"
+        ) from None
+    return factory(topology)

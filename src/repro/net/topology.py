@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -75,6 +75,149 @@ def great_circle_km(a: Datacenter, b: Datacenter) -> float:
     return 2 * radius_km * math.asin(min(1.0, math.sqrt(h)))
 
 
+#: Measured median inter-region round-trip times in milliseconds, after the
+#: public cloudping-style AWS inter-region tables.  Listed once per unordered
+#: pair (each region keys the regions that follow it in catalogue order);
+#: :func:`region_rtt_ms` looks both directions up.  Unlike the great-circle
+#: estimate these carry real routing artefacts — cable paths, not geodesics —
+#: e.g. Sao Paulo→Sydney routes through the US and Bahrain→Mumbai is far
+#: faster than the distance suggests.
+_REGION_RTT_MS: Dict[str, Dict[str, float]] = {
+    "us-east-1": {
+        "us-east-2": 12, "us-west-1": 62, "us-west-2": 68, "ca-central-1": 15,
+        "sa-east-1": 115, "eu-west-1": 68, "eu-west-2": 76, "eu-west-3": 80,
+        "eu-central-1": 89, "eu-north-1": 112, "eu-south-1": 97,
+        "me-south-1": 185, "af-south-1": 225, "ap-south-1": 185,
+        "ap-southeast-1": 215, "ap-southeast-2": 200, "ap-northeast-1": 145,
+        "ap-northeast-2": 175, "ap-northeast-3": 155, "ap-east-1": 195,
+    },
+    "us-east-2": {
+        "us-west-1": 52, "us-west-2": 49, "ca-central-1": 25, "sa-east-1": 125,
+        "eu-west-1": 75, "eu-west-2": 83, "eu-west-3": 87, "eu-central-1": 97,
+        "eu-north-1": 118, "eu-south-1": 105, "me-south-1": 195,
+        "af-south-1": 235, "ap-south-1": 195, "ap-southeast-1": 205,
+        "ap-southeast-2": 190, "ap-northeast-1": 135, "ap-northeast-2": 165,
+        "ap-northeast-3": 145, "ap-east-1": 185,
+    },
+    "us-west-1": {
+        "us-west-2": 20, "ca-central-1": 75, "sa-east-1": 175, "eu-west-1": 130,
+        "eu-west-2": 137, "eu-west-3": 142, "eu-central-1": 147,
+        "eu-north-1": 165, "eu-south-1": 155, "me-south-1": 235,
+        "af-south-1": 290, "ap-south-1": 230, "ap-southeast-1": 170,
+        "ap-southeast-2": 140, "ap-northeast-1": 105, "ap-northeast-2": 130,
+        "ap-northeast-3": 112, "ap-east-1": 155,
+    },
+    "us-west-2": {
+        "ca-central-1": 60, "sa-east-1": 180, "eu-west-1": 125, "eu-west-2": 133,
+        "eu-west-3": 138, "eu-central-1": 143, "eu-north-1": 158,
+        "eu-south-1": 152, "me-south-1": 245, "af-south-1": 290,
+        "ap-south-1": 220, "ap-southeast-1": 165, "ap-southeast-2": 140,
+        "ap-northeast-1": 97, "ap-northeast-2": 125, "ap-northeast-3": 105,
+        "ap-east-1": 145,
+    },
+    "ca-central-1": {
+        "sa-east-1": 125, "eu-west-1": 70, "eu-west-2": 78, "eu-west-3": 82,
+        "eu-central-1": 92, "eu-north-1": 107, "eu-south-1": 100,
+        "me-south-1": 190, "af-south-1": 230, "ap-south-1": 195,
+        "ap-southeast-1": 215, "ap-southeast-2": 200, "ap-northeast-1": 145,
+        "ap-northeast-2": 170, "ap-northeast-3": 152, "ap-east-1": 195,
+    },
+    "sa-east-1": {
+        "eu-west-1": 180, "eu-west-2": 188, "eu-west-3": 192,
+        "eu-central-1": 200, "eu-north-1": 220, "eu-south-1": 205,
+        "me-south-1": 290, "af-south-1": 340, "ap-south-1": 300,
+        "ap-southeast-1": 325, "ap-southeast-2": 310, "ap-northeast-1": 255,
+        "ap-northeast-2": 285, "ap-northeast-3": 265, "ap-east-1": 305,
+    },
+    "eu-west-1": {
+        "eu-west-2": 11, "eu-west-3": 17, "eu-central-1": 25, "eu-north-1": 38,
+        "eu-south-1": 33, "me-south-1": 120, "af-south-1": 165,
+        "ap-south-1": 120, "ap-southeast-1": 175, "ap-southeast-2": 255,
+        "ap-northeast-1": 210, "ap-northeast-2": 230, "ap-northeast-3": 220,
+        "ap-east-1": 200,
+    },
+    "eu-west-2": {
+        "eu-west-3": 8, "eu-central-1": 15, "eu-north-1": 30, "eu-south-1": 24,
+        "me-south-1": 112, "af-south-1": 158, "ap-south-1": 112,
+        "ap-southeast-1": 167, "ap-southeast-2": 260, "ap-northeast-1": 218,
+        "ap-northeast-2": 238, "ap-northeast-3": 228, "ap-east-1": 192,
+    },
+    "eu-west-3": {
+        "eu-central-1": 10, "eu-north-1": 25, "eu-south-1": 18,
+        "me-south-1": 105, "af-south-1": 150, "ap-south-1": 105,
+        "ap-southeast-1": 160, "ap-southeast-2": 255, "ap-northeast-1": 222,
+        "ap-northeast-2": 242, "ap-northeast-3": 232, "ap-east-1": 185,
+    },
+    "eu-central-1": {
+        "eu-north-1": 22, "eu-south-1": 12, "me-south-1": 95, "af-south-1": 154,
+        "ap-south-1": 110, "ap-southeast-1": 155, "ap-southeast-2": 250,
+        "ap-northeast-1": 225, "ap-northeast-2": 235, "ap-northeast-3": 230,
+        "ap-east-1": 180,
+    },
+    "eu-north-1": {
+        "eu-south-1": 30, "me-south-1": 115, "af-south-1": 175,
+        "ap-south-1": 130, "ap-southeast-1": 175, "ap-southeast-2": 270,
+        "ap-northeast-1": 240, "ap-northeast-2": 255, "ap-northeast-3": 245,
+        "ap-east-1": 200,
+    },
+    "eu-south-1": {
+        "me-south-1": 88, "af-south-1": 145, "ap-south-1": 100,
+        "ap-southeast-1": 148, "ap-southeast-2": 245, "ap-northeast-1": 230,
+        "ap-northeast-2": 240, "ap-northeast-3": 235, "ap-east-1": 175,
+    },
+    "me-south-1": {
+        "af-south-1": 185, "ap-south-1": 35, "ap-southeast-1": 85,
+        "ap-southeast-2": 175, "ap-northeast-1": 160, "ap-northeast-2": 150,
+        "ap-northeast-3": 158, "ap-east-1": 110,
+    },
+    "af-south-1": {
+        "ap-south-1": 200, "ap-southeast-1": 235, "ap-southeast-2": 290,
+        "ap-northeast-1": 300, "ap-northeast-2": 310, "ap-northeast-3": 305,
+        "ap-east-1": 260,
+    },
+    "ap-south-1": {
+        "ap-southeast-1": 55, "ap-southeast-2": 145, "ap-northeast-1": 125,
+        "ap-northeast-2": 135, "ap-northeast-3": 128, "ap-east-1": 85,
+    },
+    "ap-southeast-1": {
+        "ap-southeast-2": 92, "ap-northeast-1": 70, "ap-northeast-2": 75,
+        "ap-northeast-3": 72, "ap-east-1": 35,
+    },
+    "ap-southeast-2": {
+        "ap-northeast-1": 105, "ap-northeast-2": 130, "ap-northeast-3": 112,
+        "ap-east-1": 125,
+    },
+    "ap-northeast-1": {
+        "ap-northeast-2": 32, "ap-northeast-3": 9, "ap-east-1": 50,
+    },
+    "ap-northeast-2": {
+        "ap-northeast-3": 25, "ap-east-1": 38,
+    },
+    "ap-northeast-3": {
+        "ap-east-1": 45,
+    },
+}
+
+#: Flattened symmetric view of :data:`_REGION_RTT_MS`, keyed by ordered
+#: ``(region_a, region_b)`` name pairs (both directions present).
+AWS_REGION_RTT_MS: Dict[Tuple[str, str], float] = {}
+for _a, _row in _REGION_RTT_MS.items():
+    for _b, _rtt in _row.items():
+        AWS_REGION_RTT_MS[(_a, _b)] = float(_rtt)
+        AWS_REGION_RTT_MS[(_b, _a)] = float(_rtt)
+del _a, _row, _b, _rtt
+
+
+def region_rtt_ms(a: str, b: str) -> Optional[float]:
+    """Measured round-trip time between two catalogue regions, in ms.
+
+    Returns ``None`` for pairs without a measurement (callers fall back to
+    the great-circle estimate) and for ``a == b`` (intra-region delay is a
+    placement property, not a WAN one).
+    """
+    return AWS_REGION_RTT_MS.get((a, b))
+
+
 class Topology:
     """Assignment of replicas to datacenters.
 
@@ -86,6 +229,14 @@ class Topology:
         if not placement:
             raise ValueError("a topology needs at least one replica")
         self._placement: List[Datacenter] = list(placement)
+        # The placement never changes after construction, so the per-call
+        # derived lookups are cached: the datacenter membership index is
+        # built eagerly (O(n) once) and pairwise distances lazily (latency
+        # models at n=256 ask for up to n^2 pairs, each a haversine).
+        self._replicas_by_name: Dict[str, List[int]] = {}
+        for replica_id, datacenter in enumerate(self._placement):
+            self._replicas_by_name.setdefault(datacenter.name, []).append(replica_id)
+        self._distance_cache: Dict[Tuple[int, int], float] = {}
 
     @property
     def n(self) -> int:
@@ -113,12 +264,18 @@ class Topology:
         return self._placement[a].name == self._placement[b].name
 
     def distance_km(self, a: int, b: int) -> float:
-        """Great-circle distance between the datacenters of two replicas."""
-        return great_circle_km(self._placement[a], self._placement[b])
+        """Great-circle distance between the datacenters of two replicas
+        (cached per unordered pair)."""
+        key = (a, b) if a <= b else (b, a)
+        cached = self._distance_cache.get(key)
+        if cached is None:
+            cached = great_circle_km(self._placement[a], self._placement[b])
+            self._distance_cache[key] = cached
+        return cached
 
     def replicas_in(self, datacenter_name: str) -> List[int]:
         """Return the replica ids hosted in ``datacenter_name``."""
-        return [i for i, dc in enumerate(self._placement) if dc.name == datacenter_name]
+        return list(self._replicas_by_name.get(datacenter_name, ()))
 
 
 #: The four globally distributed datacenters of Section 9.3.

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.net.bandwidth import BandwidthModel
 from repro.net.faults import FaultPlan
@@ -129,6 +129,22 @@ class Transport(ABC):
                 deliveries.append(delivery)
         return deliveries
 
+    def broadcast_times(self, sender: int, receivers: Sequence[int],
+                        message: Message, now: float,
+                        rng: random.Random) -> List[Tuple[int, float]]:
+        """:meth:`broadcast` reduced to ``(receiver, deliver_at)`` pairs.
+
+        The simulator's event loop only needs the arrival instants, not the
+        delay decomposition, so the hot path skips one :class:`Delivery`
+        allocation per copy (n of them per broadcast).  Overrides must
+        consume ``rng`` and mutate transport state (NIC queues, counters)
+        exactly as :meth:`broadcast` would — the golden corpus pins this.
+        """
+        return [
+            (delivery.receiver, delivery.deliver_at)
+            for delivery in self.broadcast(sender, receivers, message, now, rng)
+        ]
+
     def reset(self) -> None:
         """Clear inter-simulation state (NIC queues, counters)."""
 
@@ -201,6 +217,33 @@ class DirectTransport(Transport):
             append(Delivery(receiver, send_time + transfer + propagation,
                             hold, 0.0, transfer, propagation))
         return deliveries
+
+    def broadcast_times(self, sender: int, receivers: Sequence[int],
+                        message: Message, now: float,
+                        rng: random.Random) -> List[Tuple[int, float]]:
+        """:meth:`broadcast` without the Delivery objects; same arithmetic,
+        same per-receiver rng order."""
+        size = getattr(message, "wire_size", 0)
+        transfer_time = self.bandwidth.transfer_time
+        delay = self.latency.delay
+        pairs: List[Tuple[int, float]] = []
+        append = pairs.append
+        if self._trivial_faults:
+            for receiver in receivers:
+                transfer = transfer_time(sender, receiver, size)
+                append((receiver, now + transfer + delay(sender, receiver, rng)))
+            return pairs
+        faults = self.faults
+        for receiver in receivers:
+            if faults.should_drop(sender, receiver, now, rng):
+                continue
+            send_time = now
+            release = faults.partition_release(sender, receiver, now)
+            if release is not None:
+                send_time = release
+            transfer = transfer_time(sender, receiver, size)
+            append((receiver, send_time + transfer + delay(sender, receiver, rng)))
+        return pairs
 
 
 class ContendedUplinkTransport(Transport):
@@ -314,6 +357,128 @@ class ContendedUplinkTransport(Transport):
                 done = release
         return Delivery(receiver, done + propagation,
                         hold, queue, transfer, propagation)
+
+    def broadcast(self, sender: int, receivers: Sequence[int], message: Message,
+                  now: float, rng: random.Random) -> List[Delivery]:
+        """Vectorized NIC drain: one cumulative sum over the n−1 wire copies.
+
+        Per-copy :meth:`unicast` re-reads and re-writes ``_nic_free_at`` and
+        the queue counters n−1 times per broadcast; here the drain is a
+        single running ``done += transfer`` accumulation (every copy of one
+        broadcast has the same wire size, so ``transfer`` is computed once)
+        with one dict store at the end.  The arithmetic is bit-identical:
+        after the first wire copy the NIC free time always exceeds ``now``,
+        so ``max(free, now)`` degenerates to the running sum.  The rng order
+        (per receiver: drop draw, then propagation draw) is unchanged.
+        """
+        size = getattr(message, "wire_size", 0)
+        trivial = self._trivial_faults
+        faults = self.faults
+        delay = self.latency.delay
+        transfer = (self.bandwidth.per_message_overhead_s
+                    + size / self.uplink_bytes_per_s)
+        nic = self._nic_free_at.get(sender, 0.0)
+        if nic < now:
+            nic = now
+        wire_copies = 0
+        queued = 0
+        queue_total = self._queue_delay_total
+        queue_max = self._queue_delay_max
+        deliveries: List[Delivery] = []
+        append = deliveries.append
+        for receiver in receivers:
+            if not trivial and faults.should_drop(sender, receiver, now, rng):
+                continue
+            propagation = delay(sender, receiver, rng)
+            if receiver == sender:
+                local_transfer = self.bandwidth.transfer_time(sender, receiver, size)
+                done = now + local_transfer
+                hold = 0.0
+                if not trivial:
+                    release = faults.partition_release(sender, receiver, done)
+                    if release is not None:
+                        hold = release - done
+                        done = release
+                append(Delivery(receiver, done + propagation,
+                                hold, 0.0, local_transfer, propagation))
+                continue
+            queue = nic - now
+            done = nic + transfer
+            nic = done
+            wire_copies += 1
+            if queue > 0.0:
+                queued += 1
+                queue_total += queue
+                if queue > queue_max:
+                    queue_max = queue
+            hold = 0.0
+            if not trivial:
+                release = faults.partition_release(sender, receiver, done)
+                if release is not None:
+                    hold = release - done
+                    done = release
+            append(Delivery(receiver, done + propagation,
+                            hold, queue, transfer, propagation))
+        if wire_copies:
+            self._nic_free_at[sender] = nic
+            self._wire_bytes += wire_copies * size
+            self._queued_messages += queued
+            self._queue_delay_total = queue_total
+            self._queue_delay_max = queue_max
+        return deliveries
+
+    def broadcast_times(self, sender: int, receivers: Sequence[int],
+                        message: Message, now: float,
+                        rng: random.Random) -> List[Tuple[int, float]]:
+        """:meth:`broadcast` without the Delivery objects (same drain math)."""
+        size = getattr(message, "wire_size", 0)
+        trivial = self._trivial_faults
+        faults = self.faults
+        delay = self.latency.delay
+        transfer = (self.bandwidth.per_message_overhead_s
+                    + size / self.uplink_bytes_per_s)
+        nic = self._nic_free_at.get(sender, 0.0)
+        if nic < now:
+            nic = now
+        wire_copies = 0
+        queued = 0
+        queue_total = self._queue_delay_total
+        queue_max = self._queue_delay_max
+        pairs: List[Tuple[int, float]] = []
+        append = pairs.append
+        for receiver in receivers:
+            if not trivial and faults.should_drop(sender, receiver, now, rng):
+                continue
+            propagation = delay(sender, receiver, rng)
+            if receiver == sender:
+                done = now + self.bandwidth.transfer_time(sender, receiver, size)
+                if not trivial:
+                    release = faults.partition_release(sender, receiver, done)
+                    if release is not None:
+                        done = release
+                append((receiver, done + propagation))
+                continue
+            queue = nic - now
+            done = nic + transfer
+            nic = done
+            wire_copies += 1
+            if queue > 0.0:
+                queued += 1
+                queue_total += queue
+                if queue > queue_max:
+                    queue_max = queue
+            if not trivial:
+                release = faults.partition_release(sender, receiver, done)
+                if release is not None:
+                    done = release
+            append((receiver, done + propagation))
+        if wire_copies:
+            self._nic_free_at[sender] = nic
+            self._wire_bytes += wire_copies * size
+            self._queued_messages += queued
+            self._queue_delay_total = queue_total
+            self._queue_delay_max = queue_max
+        return pairs
 
 
 class RelayTransport(Transport):

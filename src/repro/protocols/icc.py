@@ -62,6 +62,13 @@ class _RoundState:
     relayed: Set[BlockId] = field(default_factory=set)
     #: Pending notarization-delay timer target times already armed.
     armed_vote_timers: Set[float] = field(default_factory=set)
+    #: Tracker fired-count already processed by ``_try_notarizations`` —
+    #: with ``notarization_deferred`` this lets the (very hot) re-check
+    #: exit in O(1) when nothing reached the quorum since the last look.
+    notarization_fired_seen: int = 0
+    #: Whether a quorum-reached block was skipped because it has not been
+    #: received yet (forces a re-scan on the next call).
+    notarization_deferred: bool = False
 
 
 class ICCReplica(Protocol):
@@ -98,6 +105,10 @@ class ICCReplica(Protocol):
         self._orphans: Dict[BlockId, List[Block]] = {}
         #: Finalizations (block ids) waiting for the block/ancestors to arrive.
         self._pending_finalizations: Dict[BlockId, str] = {}
+        #: Quorum thresholds resolved once (the properties derive them from
+        #: immutable params; tracker lookups are per-message hot paths).
+        self._notarization_quorum = self.notarization_quorum
+        self._finalization_quorum = self.finalization_quorum
 
     # ------------------------------------------------------------------ #
     # Quorums (overridden by Banyan)
@@ -128,12 +139,12 @@ class ICCReplica(Protocol):
     def _notarization_tracker(self, round_k: int) -> QuorumTracker:
         """The round's notarization tally (created on first use)."""
         return self.votes.tracker(round_k, VoteKind.NOTARIZATION,
-                                  self.notarization_quorum)
+                                  self._notarization_quorum)
 
     def _finalization_tracker(self, round_k: int) -> QuorumTracker:
         """The round's finalization tally (created on first use)."""
         return self.votes.tracker(round_k, VoteKind.FINALIZATION,
-                                  self.finalization_quorum)
+                                  self._finalization_quorum)
 
     # ------------------------------------------------------------------ #
     # Protocol interface
@@ -270,7 +281,7 @@ class ICCReplica(Protocol):
 
     def _absorb_parent_certificates(self, ctx: ReplicaContext, proposal: BlockProposal) -> None:
         notarization = proposal.parent_notarization
-        if notarization is not None and notarization.verify(None, self.notarization_quorum):
+        if notarization is not None and notarization.verify(None, self._notarization_quorum):
             self._register_notarization(ctx, notarization)
 
     def _ingest_block(self, ctx: ReplicaContext, block: Block) -> None:
@@ -405,11 +416,25 @@ class ICCReplica(Protocol):
     # ------------------------------------------------------------------ #
 
     def _try_notarizations(self, ctx: ReplicaContext, round_k: int) -> None:
-        for block_id in self._notarization_tracker(round_k).reached_blocks():
-            if block_id not in self.tree or self.tree.is_notarized(block_id):
+        tracker = self._notarization_tracker(round_k)
+        state = self._round(round_k)
+        # O(1) exit for the per-vote hot path: nothing new reached the
+        # quorum since the last scan, and no reached block is still waiting
+        # for its proposal to arrive.
+        if (tracker.fired_count() == state.notarization_fired_seen
+                and not state.notarization_deferred):
+            return
+        deferred = False
+        for block_id in tracker.reached_blocks():
+            if block_id not in self.tree:
+                deferred = True
+                continue
+            if self.tree.is_notarized(block_id):
                 continue
             self.tree.mark_notarized(block_id)
             self._on_block_notarized(ctx, round_k, block_id)
+        state.notarization_fired_seen = tracker.fired_count()
+        state.notarization_deferred = deferred
 
     def _on_block_notarized(self, ctx: ReplicaContext, round_k: int, block_id: BlockId) -> None:
         self._try_advance(ctx, round_k)
@@ -481,10 +506,10 @@ class ICCReplica(Protocol):
         if certificate is None:
             return
         if isinstance(certificate, Notarization):
-            if certificate.verify(None, self.notarization_quorum):
+            if certificate.verify(None, self._notarization_quorum):
                 self._register_notarization(ctx, certificate)
         elif isinstance(certificate, Finalization):
-            if certificate.verify(None, self.finalization_quorum):
+            if certificate.verify(None, self._finalization_quorum):
                 self._finalization_tracker(certificate.round).add_voters(
                     certificate.block_id, certificate.voters
                 )

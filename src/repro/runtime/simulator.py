@@ -399,6 +399,18 @@ class Simulation:
         queue = self._queue
         while queue:
             time_, _seq, kind, target, payload = heapq.heappop(queue)
+            if kind == "mbatch":
+                # Unfold the same-instant broadcast group one member per
+                # step: the head member becomes a plain delivery and the
+                # tail goes back under the batch's original heap key, so
+                # stepping is observably identical to the batched run loop.
+                targets, payload = payload
+                if len(targets) > 1:
+                    heapq.heappush(queue, (time_, _seq, "mbatch",
+                                           _EXTERNAL_TARGET,
+                                           (targets[1:], payload)))
+                kind = "message"
+                target = targets[0]
             if kind == "timer":
                 timer_id = payload.timer_id
                 self._pending_timers.discard(timer_id)
@@ -505,6 +517,58 @@ class Simulation:
                                 if self._compute_listeners:
                                     self._notify_compute("cpu-busy", target,
                                                          self.now, cost, message)
+                elif kind == "mbatch":
+                    # A same-instant broadcast group: every member is a
+                    # delivery at exactly ``time_``, processed back-to-back
+                    # the way consecutive per-copy pops would have been (no
+                    # event scheduled during processing can sort before a
+                    # remaining member: pushes get later seqs and times
+                    # ``>= now``).  Each member counts against the event
+                    # budget; an exhausted budget re-queues the tail under
+                    # the batch's original heap key, preserving its place.
+                    targets, mpayload = payload
+                    sender, message = mpayload
+                    remaining = None
+                    for index, target in enumerate(targets):
+                        if max_events is not None and processed >= max_events:
+                            remaining = targets[index:]
+                            break
+                        if message_cost is not None:
+                            free_at = busy_until.get(target, 0.0)
+                            if free_at > time_:
+                                # Busy core: this member queues on the CPU
+                                # timeline as a plain per-copy delivery; the
+                                # rest of the group is unaffected (exactly
+                                # what the per-copy pipeline did).
+                                compute.record_wait(target, free_at - time_)
+                                if self._compute_listeners:
+                                    self._notify_compute("cpu-wait", target,
+                                                         time_,
+                                                         free_at - time_, None)
+                                heappush(queue, (free_at, next(seq), "message",
+                                                 target, mpayload))
+                                continue
+                        if is_crashed is not None and is_crashed(target, self.now):
+                            self._messages_dropped += 1
+                        else:
+                            self._messages_delivered += 1
+                            protocols[target].on_message(contexts[target],
+                                                         sender, message)
+                            if message_cost is not None:
+                                cost = message_cost(target, sender, message)
+                                if cost > 0.0:
+                                    compute.record_busy(target, self.now, cost)
+                                    if self._compute_listeners:
+                                        self._notify_compute(
+                                            "cpu-busy", target, self.now,
+                                            cost, message)
+                        processed += 1
+                    if remaining is not None:
+                        heappush(queue, (time_, _seq, "mbatch",
+                                         _EXTERNAL_TARGET,
+                                         (remaining, mpayload)))
+                    # ``processed`` was advanced per member above.
+                    break
                 elif kind == "timer":
                     if is_crashed is None or not is_crashed(target, self.now):
                         protocols[target].on_timer(contexts[target], payload)
@@ -547,23 +611,54 @@ class Simulation:
         count = len(receivers)
         self._messages_sent += count
         self._bytes_sent += getattr(message, "wire_size", 0) * count
-        deliveries = self._transport.broadcast(sender, receivers, message,
-                                               self.now, self._rng)
-        dropped = count - len(deliveries)
-        if dropped:
-            self._messages_dropped += dropped
         queue = self._queue
         seq = self._seq
         heappush = heapq.heappush
-        for delivery in deliveries:
-            heappush(queue, (delivery.deliver_at, next(seq), "message",
-                             delivery.receiver, (sender, message)))
+        payload = (sender, message)
         if self._delivery_listeners:
+            # Tracing path: listeners need the full per-copy delay
+            # decomposition, so keep the one-event-per-copy pipeline.
+            deliveries = self._transport.broadcast(sender, receivers, message,
+                                                   self.now, self._rng)
+            dropped = count - len(deliveries)
+            if dropped:
+                self._messages_dropped += dropped
+            for delivery in deliveries:
+                heappush(queue, (delivery.deliver_at, next(seq), "message",
+                                 delivery.receiver, payload))
             delivered = {delivery.receiver: delivery for delivery in deliveries}
             for receiver in receivers:
                 delivery = delivered.get(receiver)
                 for listener in self._delivery_listeners:
                     listener(sender, receiver, message, self.now, delivery)
+            return
+        pairs = self._transport.broadcast_times(sender, receivers, message,
+                                                self.now, self._rng)
+        dropped = count - len(pairs)
+        if dropped:
+            self._messages_dropped += dropped
+        # Group copies arriving at the same instant into one heap event
+        # ("mbatch"): under a zero-jitter latency model an n-way broadcast
+        # costs one heap push/pop instead of n.  Groups are keyed by the
+        # exact arrival float and formed in receiver order, so relative
+        # event order is identical to the per-copy pipeline: same-time
+        # copies were consecutive in seq order anyway, and distinct times
+        # order by the heap key regardless of seq.
+        groups: Dict[float, list] = {}
+        get_group = groups.get
+        for receiver, deliver_at in pairs:
+            group = get_group(deliver_at)
+            if group is None:
+                groups[deliver_at] = [receiver]
+            else:
+                group.append(receiver)
+        for deliver_at, targets in groups.items():
+            if len(targets) == 1:
+                heappush(queue, (deliver_at, next(seq), "message",
+                                 targets[0], payload))
+            else:
+                heappush(queue, (deliver_at, next(seq), "mbatch",
+                                 _EXTERNAL_TARGET, (targets, payload)))
 
     def _arm_timer(self, replica_id: int, delay: float, name: str, data: Any) -> int:
         if delay < 0:

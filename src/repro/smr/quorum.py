@@ -56,7 +56,7 @@ class QuorumTracker:
     """
 
     __slots__ = ("threshold", "on_threshold", "_voters", "_by_voter",
-                 "_fired", "_equivocators")
+                 "_fired", "_equivocators", "_merged_sets")
 
     def __init__(self, threshold: int,
                  on_threshold: Optional[ThresholdCallback] = None) -> None:
@@ -71,6 +71,11 @@ class QuorumTracker:
         #: Blocks whose threshold callback has fired already.
         self._fired: Set[Hashable] = set()
         self._equivocators: Set[int] = set()
+        #: Block id → voter sets already merged via :meth:`add_voters`.
+        #: Certificates are gossiped O(n) times each, so the same frozenset
+        #: arrives over and over; its cached hash makes the repeat check
+        #: O(1) instead of an O(n) set difference.
+        self._merged_sets: Dict[Hashable, Set[FrozenSet[int]]] = {}
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -84,10 +89,13 @@ class QuorumTracker:
         if voter in voters:
             return False
         voters.add(voter)
-        supported = self._by_voter.setdefault(voter, set())
-        supported.add(block_id)
-        if len(supported) > 1:
-            self._equivocators.add(voter)
+        supported = self._by_voter.get(voter)
+        if supported is None:
+            self._by_voter[voter] = {block_id}
+        else:
+            supported.add(block_id)
+            if len(supported) > 1:
+                self._equivocators.add(voter)
         if len(voters) >= self.threshold and block_id not in self._fired:
             self._fired.add(block_id)
             if self.on_threshold is not None:
@@ -95,11 +103,49 @@ class QuorumTracker:
         return True
 
     def add_voters(self, block_id: Hashable, voters: Iterable[int]) -> bool:
-        """Merge a certificate's voter set; return whether any vote was new."""
-        added = False
-        for voter in voters:
-            added |= self.add_vote(block_id, voter)
-        return added
+        """Merge a certificate's voter set; return whether any vote was new.
+
+        Hot path of certificate gossip: at ``n`` replicas every certificate
+        carries O(n) voters and is received n times, so the all-duplicates
+        case must not cost one Python call per voter.  A set difference
+        finds the new voters first; the per-voter walk (which preserves
+        :meth:`add_vote`'s exact mid-merge ``on_threshold`` timing) runs
+        only when this merge could fire the threshold callback.
+        """
+        merged = self._merged_sets.get(block_id)
+        if merged is None:
+            merged = self._merged_sets[block_id] = set()
+        voter_set = voters if isinstance(voters, frozenset) else frozenset(voters)
+        if voter_set in merged:
+            return False
+        existing = self._voters.get(block_id)
+        if existing is None:
+            existing = self._voters[block_id] = set()
+        new = voter_set - existing
+        if not new:
+            merged.add(voter_set)
+            return False
+        if block_id not in self._fired and len(existing) + len(new) >= self.threshold:
+            # This merge crosses the threshold: take the per-voter path so
+            # on_threshold fires at exactly the voter that reaches it (the
+            # callback may inspect the tally mid-merge).
+            for voter in voters:
+                self.add_vote(block_id, voter)
+            merged.add(voter_set)
+            return True
+        existing |= new
+        merged.add(voter_set)
+        by_voter = self._by_voter
+        equivocators = self._equivocators
+        for voter in new:
+            supported = by_voter.get(voter)
+            if supported is None:
+                by_voter[voter] = {block_id}
+            else:
+                supported.add(block_id)
+                if len(supported) > 1:
+                    equivocators.add(voter)
+        return True
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -113,6 +159,20 @@ class QuorumTracker:
         """Number of distinct voters recorded for ``block_id``."""
         return len(self._voters.get(block_id, ()))
 
+    def count_outside(self, block_id: Hashable, excluded: Set[int]) -> int:
+        """Number of distinct voters for ``block_id`` not in ``excluded``.
+
+        Lets callers compute ``|voters(b) ∪ excluded|`` as
+        ``len(excluded) + count_outside(b, excluded)`` without materialising
+        the union (the fast-path unlock check does this per vote).
+        """
+        voters = self._voters.get(block_id)
+        if not voters:
+            return 0
+        if not excluded:
+            return len(voters)
+        return len(voters - excluded)
+
     def reached(self, block_id: Hashable) -> bool:
         """Whether ``block_id``'s tally is at or above the threshold."""
         return self.count(block_id) >= self.threshold
@@ -125,6 +185,15 @@ class QuorumTracker:
         """Blocks at or above the threshold, in first-vote order."""
         return [block_id for block_id, voters in self._voters.items()
                 if len(voters) >= self.threshold]
+
+    def fired_count(self) -> int:
+        """Number of blocks that have reached the threshold (O(1)).
+
+        Tallies only grow, so this equals ``len(reached_blocks())`` at all
+        times — callers use it to skip a re-scan when nothing new reached
+        the threshold since their last look.
+        """
+        return len(self._fired)
 
     def equivocators(self) -> FrozenSet[int]:
         """Voters observed supporting more than one distinct block.

@@ -194,6 +194,18 @@ class ClientPool:
         )
         return len(reclaimed)
 
+    def payload_source(self, max_block_bytes: int = 65_536):
+        """Build the payload source that drains this pool's mempools.
+
+        Mirrors :meth:`repro.workload.fluid.FluidClientPool.payload_source`
+        so the experiment harness builds either pool's source through the
+        same seam.
+        """
+        # Imported lazily: payloads.py imports this module.
+        from repro.workload.payloads import MempoolPayloadSource
+
+        return MempoolPayloadSource(self, max_block_bytes=max_block_bytes)
+
     # ------------------------------------------------------------------ #
     # Attachment and event scheduling
     # ------------------------------------------------------------------ #

@@ -1,0 +1,280 @@
+"""Tests for the fluid (aggregated-flow) workload mode.
+
+The fluid model replaces per-transaction client simulation with one batched
+injection event per (replica, tick), so million-user populations cost the
+same number of workload events as eight users.  These tests pin:
+
+* the flow-queue mechanics (inject, capacity shedding, budgeted drain with
+  head-batch splitting, front requeue),
+* the dependency-free Poisson sampler on both of its regimes,
+* the weighted latency statistics the mode reports through
+  :class:`repro.smr.metrics.WorkloadMetrics`,
+* spec serialisation (fluid fields round-trip; exact-mode specs keep their
+  serialised shape and hence their cache hashes), and
+* cross-validation against the exact per-transaction model on an
+  overlapping configuration — goodput and latency percentiles must agree
+  within the bounds pinned here.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.stats import percentile, weighted_mean, weighted_percentile
+from repro.eval.experiment import ExperimentConfig, run_experiment
+from repro.protocols.base import ProtocolParams
+from repro.smr.metrics import WorkloadMetrics
+from repro.workload.fluid import (
+    FlowQueue,
+    FluidClientPool,
+    FluidPayloadSource,
+    poisson_sample,
+)
+from repro.workload.spec import WorkloadSpec
+
+
+class TestPoissonSample:
+    def test_zero_mean_returns_zero(self):
+        assert poisson_sample(random.Random(1), 0.0) == 0
+
+    def test_small_mean_matches_poisson_moments(self):
+        rng = random.Random(7)
+        draws = [poisson_sample(rng, 3.0) for _ in range(20_000)]
+        mean = sum(draws) / len(draws)
+        # Poisson(3): mean 3, variance 3.  20k draws put the sample mean
+        # within ~0.04 of the true mean with overwhelming probability.
+        assert mean == pytest.approx(3.0, abs=0.1)
+        variance = sum((d - mean) ** 2 for d in draws) / len(draws)
+        assert variance == pytest.approx(3.0, rel=0.1)
+        assert all(isinstance(d, int) and d >= 0 for d in draws)
+
+    def test_large_mean_uses_normal_approximation(self):
+        rng = random.Random(11)
+        draws = [poisson_sample(rng, 50_000.0) for _ in range(2_000)]
+        mean = sum(draws) / len(draws)
+        assert mean == pytest.approx(50_000.0, rel=0.01)
+        assert all(isinstance(d, int) and d >= 0 for d in draws)
+
+
+class TestFlowQueue:
+    def test_inject_and_totals(self):
+        queue = FlowQueue(tx_size=256, capacity=100)
+        assert queue.inject(30, submit_mid=0.05) == 30
+        assert queue.inject(40, submit_mid=0.15) == 40
+        assert len(queue) == 70
+        assert queue.total_bytes == 70 * 256
+
+    def test_capacity_sheds_overflow(self):
+        queue = FlowQueue(tx_size=256, capacity=50)
+        assert queue.inject(30, submit_mid=0.05) == 30
+        # Only 20 of the next 40 fit; the rest are shed (mempool backpressure).
+        assert queue.inject(40, submit_mid=0.15) == 20
+        assert len(queue) == 50
+
+    def test_drain_splits_the_head_batch(self):
+        queue = FlowQueue(tx_size=256, capacity=1000)
+        queue.inject(10, submit_mid=0.05)
+        queue.inject(10, submit_mid=0.15)
+        # Budget for 12 transactions: the whole first batch plus 2 of the
+        # second; the remaining 8 keep their submit time.
+        groups, count, total_bytes = queue.drain(12 * 256)
+        assert count == 12
+        assert total_bytes == 12 * 256
+        assert [(c, mid) for c, mid in groups] == [(10, 0.05), (2, 0.15)]
+        assert len(queue) == 8
+        groups, count, _ = queue.drain(100 * 256)
+        assert [(c, mid) for c, mid in groups] == [(8, 0.15)]
+        assert len(queue) == 0
+
+    def test_requeue_restores_the_front_bypassing_capacity(self):
+        queue = FlowQueue(tx_size=256, capacity=10)
+        queue.inject(10, submit_mid=0.05)
+        groups, count, _ = queue.drain(6 * 256)
+        assert count == 6
+        queue.inject(6, submit_mid=0.15)
+        # Reclaiming a failed proposal's transactions must not lose them to
+        # the capacity check, and they drain before newer arrivals.
+        queue.requeue(groups)
+        assert len(queue) == 16
+        groups, count, _ = queue.drain(16 * 256)
+        assert [(c, mid) for c, mid in groups] == [(6, 0.05), (4, 0.05), (6, 0.15)]
+
+
+class TestWeightedStats:
+    def test_weighted_percentile_matches_unweighted_at_unit_weights(self):
+        rng = random.Random(3)
+        values = [rng.random() for _ in range(101)]
+        for q in (0, 25, 50, 90, 95, 99, 100):
+            assert weighted_percentile(values, [1.0] * len(values), q) == \
+                percentile(values, q)
+
+    def test_weighted_percentile_counts_mass(self):
+        # 99 transactions at 1s, one at 10s: the p50 is 1s, the p100 10s.
+        values = [1.0, 10.0]
+        weights = [99.0, 1.0]
+        assert weighted_percentile(values, weights, 50) == 1.0
+        assert weighted_percentile(values, weights, 99) == 1.0
+        assert weighted_percentile(values, weights, 100) == 10.0
+
+    def test_zero_weight_entries_are_ignored(self):
+        assert weighted_percentile([5.0, 1.0], [0.0, 2.0], 50) == 1.0
+
+    def test_weighted_mean(self):
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+        assert weighted_mean([], []) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            weighted_percentile([1.0], [1.0, 2.0], 50)
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [])
+
+
+class TestWorkloadMetricsWeights:
+    def test_weighted_latency_statistics(self):
+        metrics = WorkloadMetrics(duration=10.0, submitted=100, committed=100,
+                                  latencies=[1.0, 10.0],
+                                  latency_weights=[99.0, 1.0])
+        assert metrics.p50_latency == 1.0
+        assert metrics.mean_latency == pytest.approx((99.0 + 10.0) / 100.0)
+
+    def test_to_dict_omits_weights_in_exact_mode(self):
+        metrics = WorkloadMetrics(duration=10.0, latencies=[1.0])
+        assert "latency_weights" not in metrics.to_dict()
+
+    def test_round_trip_preserves_weights(self):
+        metrics = WorkloadMetrics(duration=10.0, submitted=7, committed=5,
+                                  latencies=[0.5, 0.7],
+                                  latency_weights=[3.0, 2.0])
+        rebuilt = WorkloadMetrics.from_dict(metrics.to_dict())
+        assert rebuilt.latency_weights == [3.0, 2.0]
+        assert rebuilt.p50_latency == metrics.p50_latency
+
+
+class TestFluidSpec:
+    def test_fluid_fields_round_trip(self):
+        spec = WorkloadSpec(rate=1000.0, num_clients=1_000_000, fluid=True,
+                            fluid_tick=0.2)
+        data = spec.to_dict()
+        assert data["fluid"] is True
+        assert data["fluid_tick"] == 0.2
+        assert WorkloadSpec.from_dict(data) == spec
+
+    def test_exact_mode_keeps_its_serialised_shape(self):
+        # Pre-existing exact-mode specs must hash identically across the
+        # fluid-mode addition: the new keys only appear when selected.
+        data = WorkloadSpec(rate=50.0).to_dict()
+        assert "fluid" not in data
+        assert "fluid_tick" not in data
+
+    def test_fluid_requires_open_loop(self):
+        with pytest.raises(ValueError, match="open-loop"):
+            WorkloadSpec(mode="closed", fluid=True)
+
+    def test_fluid_tick_must_be_positive(self):
+        with pytest.raises(ValueError, match="fluid_tick"):
+            WorkloadSpec(fluid=True, fluid_tick=0.0)
+
+    def test_build_pool_dispatches_on_fluid(self):
+        assert isinstance(WorkloadSpec(fluid=True).build_pool(), FluidClientPool)
+        pool = WorkloadSpec().build_pool()
+        assert not isinstance(pool, FluidClientPool)
+        # Both pool kinds expose the payload-source seam the harness uses.
+        assert pool.payload_source(4096) is not None
+
+
+class TestFluidPayloadSource:
+    def _pool(self, **kwargs) -> FluidClientPool:
+        from repro.workload.arrivals import PoissonArrivals
+        defaults = dict(arrivals=PoissonArrivals(100.0), num_clients=1000,
+                        tx_size=256, seed=1)
+        defaults.update(kwargs)
+        return FluidClientPool(**defaults)
+
+    def test_empty_flow_yields_empty_payload(self):
+        pool = self._pool()
+        source = pool.payload_source(max_block_bytes=4096)
+        payload, size = source.payload_for(round=1, proposer=0)
+        assert size == 0
+        assert b"fluid:empty" in payload
+
+    def test_drain_registers_and_commit_records_weighted_groups(self):
+        pool = self._pool()
+        pool.flow(0).inject(10, submit_mid=0.05)
+        source = FluidPayloadSource(pool, max_block_bytes=4 * 256)
+        payload, size = source.payload_for(round=1, proposer=0)
+        assert size == 4 * 256
+        assert len(pool.flow(0)) == 6
+
+    def test_reclaim_requeues_uncommitted_rounds(self):
+        pool = self._pool()
+        pool.flow(0).inject(10, submit_mid=0.05)
+        source = FluidPayloadSource(pool, max_block_bytes=10 * 256)
+        source.payload_for(round=1, proposer=0)
+        assert len(pool.flow(0)) == 0
+        # While the chain has not yet committed past round 1, the proposal
+        # is still in flight — nothing to reclaim (same gate as the exact
+        # pool).
+        assert pool.reclaim_uncommitted(proposer=0) == 0
+        # Once a round-1 commit is observed without it, it is abandoned and
+        # its transactions return to the flow front.
+        pool._max_committed_round = 1
+        assert pool.reclaim_uncommitted(proposer=0) == 10
+        assert len(pool.flow(0)) == 10
+
+    def test_block_budget_must_fit_one_transaction(self):
+        with pytest.raises(ValueError):
+            FluidPayloadSource(self._pool(tx_size=512), max_block_bytes=256)
+
+
+class TestFluidCrossValidation:
+    """Fluid and exact modes must agree on overlapping configurations.
+
+    The bounds pin the approximation error: goodput within 10% and latency
+    percentiles within 150 ms — the fluid model quantises submit times to
+    tick midpoints (default tick 100 ms), so a systematic offset of up to
+    ~tick/2 plus sampling noise is expected, and anything beyond these
+    bounds indicates a real drift between the two client models.
+    """
+
+    def _run(self, fluid: bool):
+        spec = WorkloadSpec(mode="open", arrival="poisson", rate=400.0,
+                            num_clients=1000 if fluid else 16, tx_size=256,
+                            seed=0, fluid=fluid)
+        config = ExperimentConfig(protocol="banyan",
+                                  params=ProtocolParams(n=4, f=1, p=1),
+                                  workload=spec, duration=8.0, warmup=2.0,
+                                  seed=3)
+        return run_experiment(config).workload
+
+    def test_fluid_matches_exact_within_bounds(self):
+        exact = self._run(fluid=False)
+        fluid = self._run(fluid=True)
+        assert fluid.committed > 0 and exact.committed > 0
+        assert fluid.goodput_tx_per_s == pytest.approx(
+            exact.goodput_tx_per_s, rel=0.10)
+        for attribute in ("mean_latency", "p50_latency", "p95_latency"):
+            assert getattr(fluid, attribute) == pytest.approx(
+                getattr(exact, attribute), abs=0.15), attribute
+
+    def test_fluid_is_population_size_invariant_in_events(self):
+        # The whole point of the mode: a 100x larger population must not
+        # change the number of workload events (only the sampled arrival
+        # counts, which follow the same rate).  Same seed, same rate ->
+        # identical injection schedule regardless of num_clients.
+        small = self._run_population(1_000)
+        large = self._run_population(100_000)
+        assert small.submitted == large.submitted
+        assert small.committed == large.committed
+
+    def _run_population(self, num_clients: int):
+        spec = WorkloadSpec(mode="open", arrival="poisson", rate=200.0,
+                            num_clients=num_clients, tx_size=256, seed=0,
+                            fluid=True)
+        config = ExperimentConfig(protocol="banyan",
+                                  params=ProtocolParams(n=4, f=1, p=1),
+                                  workload=spec, duration=4.0, warmup=1.0,
+                                  seed=5)
+        return run_experiment(config).workload

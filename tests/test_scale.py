@@ -1,0 +1,254 @@
+"""Tests for the scaling work: WAN matrix, event batching, drain batching.
+
+Four seams of the n=256 scaling PR are pinned here:
+
+* the measured inter-region RTT matrix and the :class:`WanMatrixLatency`
+  model built on it (lookup, symmetry, fallback, jitter bounds),
+* its wiring through :class:`ExperimentConfig` / :class:`ExperimentSpec`
+  serialisation — including that default-``geo`` configs keep their
+  serialised shape (and hence their result-cache hashes),
+* determinism of the batched event loop: ``run()`` (which groups
+  same-instant broadcast deliveries into one heap event) must produce
+  exactly the same execution as the one-event-at-a-time ``step()`` path,
+* the topology's cached derived lookups and the mempool's one-call
+  ``drain_batch`` proposal builder.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.eval.experiment import ExperimentConfig, run_experiment
+from repro.eval.plan import ExperimentSpec
+from repro.eval.scenarios import plan_scale_sweep
+from repro.net.faults import FaultPlan
+from repro.net.latency import (
+    ConstantLatency,
+    GeoLatency,
+    WanMatrixLatency,
+    available_latency_models,
+    build_latency_model,
+)
+from repro.net.topology import (
+    AWS_REGIONS,
+    AWS_REGION_RTT_MS,
+    Datacenter,
+    Topology,
+    four_global_datacenters,
+    region_rtt_ms,
+    topology_by_name,
+)
+from repro.protocols.base import ProtocolParams
+from repro.protocols.registry import create_replicas
+from repro.runtime.simulator import NetworkConfig, Simulation
+from repro.smr.mempool import Mempool
+from repro.workload.spec import WorkloadSpec
+
+
+class TestRegionRttMatrix:
+    def test_matrix_is_symmetric_and_positive(self):
+        for (a, b), rtt in AWS_REGION_RTT_MS.items():
+            assert rtt > 0
+            assert AWS_REGION_RTT_MS[(b, a)] == rtt
+
+    def test_matrix_regions_are_catalogue_entries(self):
+        for a, b in AWS_REGION_RTT_MS:
+            assert a in AWS_REGIONS and b in AWS_REGIONS
+
+    def test_lookup_helper(self):
+        rtt = region_rtt_ms("us-east-1", "eu-west-1")
+        assert rtt is not None and 50 < rtt < 150
+        assert region_rtt_ms("eu-west-1", "us-east-1") == rtt
+        assert region_rtt_ms("us-east-1", "nowhere-1") is None
+
+
+class TestWanMatrixLatency:
+    def test_cross_region_nominal_is_half_the_rtt(self):
+        topology = four_global_datacenters(4)
+        model = WanMatrixLatency(topology, jitter=0.0)
+        a, b = 0, 1
+        rtt = region_rtt_ms(topology.datacenter(a).name,
+                            topology.datacenter(b).name)
+        assert model.delay(a, b, random.Random(0)) == pytest.approx(rtt / 2000.0)
+
+    def test_unmeasured_pair_falls_back_to_distance(self):
+        offgrid = Datacenter("測試-offgrid", 10.0, 10.0)
+        topology = Topology([AWS_REGIONS["us-east-1"], offgrid])
+        model = WanMatrixLatency(topology, jitter=0.0)
+        expected = 0.002 + topology.distance_km(0, 1) / 100_000.0
+        assert model.delay(0, 1, random.Random(0)) == pytest.approx(expected)
+
+    def test_jitter_bounds_and_expectation(self):
+        topology = four_global_datacenters(4)
+        model = WanMatrixLatency(topology, jitter=0.10)
+        nominal = WanMatrixLatency(topology, jitter=0.0).delay(0, 1, random.Random(0))
+        rng = random.Random(42)
+        draws = [model.delay(0, 1, rng) for _ in range(500)]
+        assert all(nominal <= d <= nominal * 1.10 for d in draws)
+        assert model.expected_delay(0, 1) == pytest.approx(nominal * 1.05)
+
+    def test_registry_builds_by_name(self):
+        topology = four_global_datacenters(4)
+        assert isinstance(build_latency_model("wan-matrix", topology),
+                          WanMatrixLatency)
+        assert isinstance(build_latency_model("geo", topology), GeoLatency)
+        assert available_latency_models() == ["geo", "wan-matrix"]
+        with pytest.raises((KeyError, ValueError)):
+            build_latency_model("bogus", topology)
+
+
+class TestLatencyModelSerialization:
+    def test_config_round_trips_wan_matrix(self):
+        config = ExperimentConfig(protocol="banyan",
+                                  params=ProtocolParams(n=4, f=1, p=1),
+                                  latency_model="wan-matrix")
+        data = config.to_dict()
+        assert data["latency_model"] == "wan-matrix"
+        assert ExperimentConfig.from_dict(data).latency_model == "wan-matrix"
+
+    def test_default_geo_keeps_the_serialised_shape(self):
+        # Pre-existing configs must keep their content hashes: the key only
+        # appears when the model is overridden.
+        config = ExperimentConfig(protocol="banyan",
+                                  params=ProtocolParams(n=4, f=1, p=1))
+        assert "latency_model" not in config.to_dict()
+
+    def test_spec_round_trips_wan_matrix(self):
+        spec = ExperimentSpec(protocol="banyan",
+                              params=ProtocolParams(n=4, f=1, p=1),
+                              topology="global4", latency_model="wan-matrix")
+        data = spec.to_dict()
+        assert data["latency_model"] == "wan-matrix"
+        rebuilt = ExperimentSpec.from_dict(data)
+        assert rebuilt.latency_model == "wan-matrix"
+        assert "latency_model" not in ExperimentSpec(
+            protocol="banyan", params=ProtocolParams(n=4, f=1, p=1),
+            topology="global4").to_dict()
+
+    def test_wan_matrix_run_executes(self):
+        config = ExperimentConfig(protocol="banyan",
+                                  params=ProtocolParams(n=4, f=1, p=1),
+                                  duration=4.0, warmup=0.0, seed=2,
+                                  latency_model="wan-matrix")
+        result = run_experiment(config)
+        assert result.metrics.summary()["committed_blocks"] > 0
+
+
+class TestScaleSweepPlan:
+    def test_specs_are_fluid_wan_and_resilient(self):
+        plan = plan_scale_sweep(replica_counts=(64, 256))
+        assert [spec.params.n for spec in plan.specs] == [64, 256]
+        for spec in plan.specs:
+            n, f, p = spec.params.n, spec.params.f, spec.params.p
+            # The fast path needs n >= 3f + 2p + 1 at every benchmarked size.
+            assert n >= 3 * f + 2 * p + 1
+            assert spec.workload.fluid
+            assert spec.workload.num_clients == 1_000_000
+            assert spec.latency_model == "wan-matrix"
+            # The whole plan must survive the spec/cache serialisation
+            # (content equality: FaultPlan instances compare by identity).
+            assert ExperimentSpec.from_dict(spec.to_dict()).to_dict() == spec.to_dict()
+
+
+class TestBatchedEventLoopDeterminism:
+    """``run()`` batches same-instant deliveries; ``step()`` never does.
+
+    Under a constant-latency network every broadcast's copies arrive at the
+    same instant, so the batched path exercises its mbatch grouping on
+    every round — the executions must nevertheless be indistinguishable.
+    """
+
+    def _simulation(self) -> Simulation:
+        params = ProtocolParams(n=4, f=1, p=1, rank_delay=0.2)
+        protocols = create_replicas("banyan", params)
+        network = NetworkConfig(latency=ConstantLatency(0.03),
+                                faults=FaultPlan.none(), seed=7)
+        return Simulation(protocols, network)
+
+    @staticmethod
+    def _commit_digest(simulation: Simulation):
+        return [
+            (record.replica_id, record.block.round, record.block.id,
+             record.commit_time, record.finalization_kind)
+            for replica_id in range(4)
+            for record in simulation.commits_for(replica_id)
+        ]
+
+    def test_run_matches_single_stepping(self):
+        batched = self._simulation()
+        batched.run(until=5.0)
+
+        stepped = self._simulation()
+        stepped.start()
+        while stepped.now <= 5.0 and stepped.step():
+            pass
+
+        assert self._commit_digest(batched) == self._commit_digest(stepped)
+        assert batched.messages_sent == stepped.messages_sent
+
+
+class TestTopologyCaches:
+    def test_replicas_in_matches_placement(self):
+        topology = topology_by_name("worldwide", 19)
+        seen = []
+        for datacenter in topology.datacenters():
+            members = topology.replicas_in(datacenter.name)
+            assert members == [i for i in topology.replica_ids
+                               if topology.datacenter(i).name == datacenter.name]
+            seen.extend(members)
+        assert sorted(seen) == topology.replica_ids
+
+    def test_distance_is_symmetric_and_stable(self):
+        topology = topology_by_name("global4", 8)
+        first = topology.distance_km(0, 5)
+        assert topology.distance_km(5, 0) == first
+        assert topology.distance_km(0, 5) == first
+        assert topology.distance_km(3, 3) == 0.0
+
+
+class TestMempoolDrainBatch:
+    @staticmethod
+    def _filled(transactions) -> Mempool:
+        mempool = Mempool(max_size=1000)
+        for transaction in transactions:
+            assert mempool.add(transaction)
+        return mempool
+
+    def test_matches_repeated_take(self):
+        transactions = [bytes([i]) * (20 + i) for i in range(10)]
+        drained = self._filled(transactions)
+        taken = self._filled(transactions)
+        batch, total = drained.drain_batch(100)
+        assert batch == taken.take(100)
+        assert total == sum(len(tx) for tx in batch)
+        assert len(drained) == len(taken)
+
+    def test_respects_max_count(self):
+        mempool = self._filled([b"x" * 10] * 8)
+        batch, total = mempool.drain_batch(10_000, max_count=3)
+        assert len(batch) == 3 and total == 30
+        assert len(mempool) == 5
+
+    def test_oversized_head_is_left_in_place(self):
+        mempool = self._filled([b"y" * 500])
+        batch, total = mempool.drain_batch(100)
+        assert batch == [] and total == 0
+        assert len(mempool) == 1
+
+
+class TestCliLatencyModel:
+    def test_run_accepts_the_flag(self, capsys):
+        from repro.cli import main
+        code = main(["run", "--protocol", "banyan", "--n", "4", "--f", "1",
+                     "--p", "1", "--duration", "2", "--payload", "1000",
+                     "--latency-model", "wan-matrix"])
+        assert code == 0
+        assert "banyan" in capsys.readouterr().out
+
+    def test_unknown_model_is_rejected_at_parse_time(self, capsys):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["run", "--latency-model", "bogus"])
+        assert "--latency-model" in capsys.readouterr().err
