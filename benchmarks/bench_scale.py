@@ -4,8 +4,13 @@ Three measurements gate the scaling work:
 
 * **Flood events/sec at n=64/128/256** — the protocol-free broadcast-heavy
   mix of :mod:`benchmarks.bench_simulator`, extended to datacenter-scale
-  replica counts.  This isolates the event queue plus transport (the
-  same-instant delivery batching and vectorised uplink drain).
+  replica counts and run under two latency models: the zero-jitter
+  constant model (event-queue-bound) and the jittered ``wan-matrix``
+  model (delay-computation-bound, the case the batched delay tables
+  target).  This isolates the event queue plus transport.
+* **Broadcast-delay copies/sec at n=64/256, per latency model** — a
+  transport-only microbench of ``broadcast_times`` across all five
+  shipped latency models, gating the row pipeline in isolation.
 * **Exact vs fluid at n=64** — the same Banyan workload run once with the
   per-transaction client model and once with the aggregated-flow model,
   recording wall-clock and goodput side by side.  Fluid must be cheaper to
@@ -26,6 +31,7 @@ so smoke runs are compared against a smoke baseline).
 from __future__ import annotations
 
 import os
+import random
 import time
 from types import SimpleNamespace
 
@@ -33,8 +39,17 @@ from benchmarks.bench_simulator import TICK, FloodProtocol
 from benchmarks.conftest import emit_bench_record, paper_comparison
 
 from repro.eval.experiment import ExperimentConfig, run_experiment
+from repro.net.bandwidth import BandwidthModel
 from repro.net.faults import FaultPlan
-from repro.net.latency import ConstantLatency
+from repro.net.latency import (
+    ConstantLatency,
+    GeoLatency,
+    MatrixLatency,
+    UniformLatency,
+    WanMatrixLatency,
+)
+from repro.net.topology import worldwide_datacenters
+from repro.net.transport import DirectTransport
 from repro.protocols.base import ProtocolParams
 from repro.runtime.simulator import NetworkConfig, Simulation
 from repro.workload.spec import WorkloadSpec
@@ -62,13 +77,27 @@ def _flood_duration(n: int) -> float:
     return {64: 4.0, 128: 1.0, 256: 0.25}[n]
 
 
-def _run_flood(n: int) -> dict:
+#: Latency models the flood runs under: the zero-jitter constant model
+#: (the event-queue-bound extreme) and the jittered measured-RTT matrix
+#: (the delay-computation-bound extreme the row batching targets).
+FLOOD_MODELS = ("const", "wan-matrix")
+
+
+def _flood_network(n: int, model: str) -> NetworkConfig:
+    if model == "const":
+        return NetworkConfig(latency=ConstantLatency(0.02),
+                             faults=FaultPlan.none(), seed=0)
+    topology = worldwide_datacenters(n)
+    return NetworkConfig(latency=WanMatrixLatency(topology),
+                         bandwidth=BandwidthModel(topology=topology),
+                         faults=FaultPlan.none(), seed=0)
+
+
+def _run_flood(n: int, model: str = "const") -> dict:
     """One broadcast-heavy protocol-free run; returns its throughput row."""
     params = ProtocolParams(n=n, f=0, p=0)
     protocols = {i: FloodProtocol(i, params) for i in range(n)}
-    network = NetworkConfig(latency=ConstantLatency(0.02), faults=FaultPlan.none(),
-                            seed=0)
-    simulation = Simulation(protocols, network)
+    simulation = Simulation(protocols, _flood_network(n, model))
     duration = _flood_duration(n)
     start = time.perf_counter()
     simulation.run(until=duration)
@@ -78,10 +107,70 @@ def _run_flood(n: int) -> dict:
     )
     return {
         "n": n,
+        "model": model,
         "sim_seconds": duration,
         "events": events,
         "wall_s": round(wall, 4),
         "events_per_s": round(events / wall, 1),
+    }
+
+
+#: Shipped latency models covered by the broadcast-delay microbench.
+DELAY_MODELS = ("const", "uniform", "matrix", "geo", "wan-matrix")
+
+
+def _delay_model(name: str, n: int):
+    """Build one shipped latency model (plus its topology, when any)."""
+    if name == "const":
+        return ConstantLatency(0.02), None
+    if name == "uniform":
+        return UniformLatency(0.01, 0.05), None
+    if name == "matrix":
+        delays = {
+            (a, b): 0.01 + ((a * 31 + b * 7) % 50) / 1000.0
+            for a in range(n)
+            for b in range(a + 1, n)
+        }
+        return MatrixLatency(delays, jitter=0.05), None
+    topology = worldwide_datacenters(n)
+    if name == "geo":
+        return GeoLatency(topology), topology
+    return WanMatrixLatency(topology), topology
+
+
+def _delay_counts() -> tuple:
+    return (16, 64) if _smoke() else (64, 256)
+
+
+def _run_broadcast_delay(n: int, model: str) -> dict:
+    """Microbench one model's ``broadcast_times`` copies/sec at size n.
+
+    Protocol-free and queue-free: a DirectTransport is driven directly, so
+    the row only measures the batched delay-table pipeline (transfer rows,
+    nominal rows, jitter application) — the piece the flood profile showed
+    dominating at n=256 before batching.
+    """
+    latency, topology = _delay_model(model, n)
+    transport = DirectTransport(latency, BandwidthModel(topology=topology),
+                                FaultPlan.none())
+    rng = random.Random(0)
+    receivers = tuple(range(n))
+    message = SimpleNamespace(wire_size=1024)
+    target_copies = 50_000 if _smoke() else 400_000
+    rounds = max(1, target_copies // n)
+    transport.broadcast_times(0, receivers, message, 0.0, rng)  # warm caches
+    now = 0.0
+    start = time.perf_counter()
+    for i in range(rounds):
+        transport.broadcast_times(i % n, receivers, message, now, rng)
+        now += 0.001
+    wall = time.perf_counter() - start
+    return {
+        "n": n,
+        "model": model,
+        "broadcasts": rounds,
+        "wall_s": round(wall, 4),
+        "events_per_s": round(rounds * n / wall, 1),
     }
 
 
@@ -137,7 +226,10 @@ def test_scale_throughput(benchmark) -> None:
     smoke = _smoke()
 
     def _measure() -> dict:
-        flood = [_run_flood(n) for n in _flood_counts()]
+        flood = [_run_flood(n, model)
+                 for model in FLOOD_MODELS for n in _flood_counts()]
+        delay = [_run_broadcast_delay(n, model)
+                 for model in DELAY_MODELS for n in _delay_counts()]
         # Exact vs fluid on one overlapping mid-size config: the exact
         # model pays one event per transaction, the fluid model one per
         # (replica, tick) — same protocol traffic, same offered load.
@@ -154,7 +246,8 @@ def test_scale_throughput(benchmark) -> None:
         gate = _run_workload(gate_n, fluid=True, duration=gate_duration,
                              num_clients=1_000_000, rate=20_000.0)
         gate["under_60s"] = gate["wall_s"] < GATE_WALL_S
-        return {"flood": flood, "exact_vs_fluid": compare, "gate": [gate]}
+        return {"flood": flood, "broadcast_delay": delay,
+                "exact_vs_fluid": compare, "gate": [gate]}
 
     series = benchmark.pedantic(_measure, rounds=1, iterations=1)
     total_wall = sum(row["wall_s"] for rows in series.values() for row in rows)
@@ -165,9 +258,11 @@ def test_scale_throughput(benchmark) -> None:
                         series=series),
     )
     paper_comparison(series["flood"])
+    paper_comparison(series["broadcast_delay"])
     paper_comparison(series["exact_vs_fluid"])
     paper_comparison(series["gate"])
     assert all(row["events"] > 0 for row in series["flood"])
+    assert all(row["events_per_s"] > 0 for row in series["broadcast_delay"])
     gate_row = series["gate"][0]
     assert gate_row["committed_tx"] > 0, "gate run committed nothing"
     if not smoke:

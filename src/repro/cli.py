@@ -139,6 +139,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--compute-scale", type=float, default=None,
                             help="cost multiplier for the crypto compute "
                                  "model (default: 1.0)")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="run one replication under cProfile and dump "
+                                 "the top-25 cumulative functions plus "
+                                 "per-event-kind counts to stderr")
     _add_runner_arguments(run_parser)
 
     workload_parser = subparsers.add_parser(
@@ -328,12 +332,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
                           compute_scale=(args.compute_scale
                                          if args.compute_scale is not None else 1.0),
                           latency_model=args.latency_model)
+    if args.profile:
+        return _run_profiled(spec)
     plan = ExperimentPlan(name="run", title="custom experiment",
                           specs=[spec]).with_replications(args.seeds)
     runner = _runner_kwargs(args)
     runner.pop("seeds")
     figure = scenarios.run_figure(plan, **runner)
     (row,), = (rows for rows in figure.series.values())
+    print(format_table(sorted(row), [[row[key] for key in sorted(row)]]))
+    return 0
+
+
+def _run_profiled(spec: ExperimentSpec) -> int:
+    """Run one replication of ``spec`` under cProfile.
+
+    The result row prints to stdout as usual; the profile (top 25 by
+    cumulative time) and the simulator's per-event-kind counts go to
+    stderr, so ``banyan-repro run --profile 2>profile.txt`` separates the
+    two.  This bypasses the plan runner — the profile must capture the
+    simulation itself, not a worker pool.
+    """
+    import cProfile
+    import pstats
+
+    from repro.eval.experiment import run_experiment
+
+    captured = {}
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_experiment(spec.to_config(),
+                            on_simulation=lambda sim: captured.update(sim=sim))
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stderr)
+    stats.sort_stats("cumulative").print_stats(25)
+    counts = captured["sim"].event_counts()
+    print("scheduled events by kind:", file=sys.stderr)
+    for kind in sorted(counts):
+        print(f"  {kind:>16}: {counts[kind]}", file=sys.stderr)
+    row = result.row()
     print(format_table(sorted(row), [[row[key] for key in sorted(row)]]))
     return 0
 

@@ -330,8 +330,17 @@ class ExperimentResult:
         )
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Run one experiment and return its result."""
+def run_experiment(config: ExperimentConfig,
+                   on_simulation=None) -> ExperimentResult:
+    """Run one experiment and return its result.
+
+    Args:
+        config: the experiment to run.
+        on_simulation: optional callback invoked with the fully wired
+            :class:`Simulation` just before ``run`` — the seam used by the
+            CLI's ``--profile`` flag (and tests) to attach listeners or
+            harvest post-run state such as :meth:`Simulation.event_counts`.
+    """
     topology = config.resolved_topology()
     if topology.n != config.params.n:
         raise ValueError(
@@ -384,6 +393,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         protocol=config.resolved_label(), observer=observer, warmup=config.warmup
     )
     simulation.add_commit_listener(collector.on_commit)
+    if on_simulation is not None:
+        on_simulation(simulation)
     simulation.run(until=config.duration)
     proposal_times = {
         replica_id: dict(simulation.protocol(replica_id).proposal_times)

@@ -237,6 +237,21 @@ class FaultPlan:
                 return True
         return False
 
+    def drop_draws_rng(self, at_time: float) -> bool:
+        """Whether :meth:`should_drop` may consume the rng at ``at_time``.
+
+        True when the uniform drop probability is active or a loss burst
+        covers ``at_time``.  Crash and partition checks never draw, so when
+        this is False a batched caller may reorder fault checks relative to
+        propagation sampling without perturbing the rng stream.
+        """
+        if self.drop_probability > 0:
+            return True
+        for burst in self.loss_bursts:
+            if burst.covers(at_time):
+                return True
+        return False
+
     def partition_release(self, sender: int, receiver: int, at_time: float) -> Optional[float]:
         """Return when a partition-blocked message may start travelling.
 

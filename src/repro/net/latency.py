@@ -4,47 +4,142 @@ A latency model answers "how long does a message from replica ``a`` to
 replica ``b`` take (excluding transfer time)?".  All times are in seconds.
 Models may be stochastic; they receive a :class:`random.Random` so that the
 discrete-event simulator stays deterministic under a fixed seed.
+
+Two call shapes are supported.  The scalar :meth:`LatencyModel.delay` prices
+one copy; the batched row API (:meth:`LatencyModel.nominal_row` /
+:meth:`LatencyModel.delay_row`) prices a whole broadcast fan-out at once and
+is what the transport hot path uses at large n.  The row methods are
+contractually equivalent to calling ``delay`` once per receiver in order —
+same arrival values, same number and order of rng draws — which the
+scalar↔batched equivalence suite pins for every shipped model.
 """
 
 from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.net.topology import Topology, region_rtt_ms
 
+#: Hoisted fixed-seed probe used by the sampling fallback of
+#: :meth:`LatencyModel.expected_delay` — reseeded per call instead of
+#: allocating a throwaway ``random.Random(0)`` per pair (the fallback runs
+#: O(n^2) times when deriving timeouts for a model without a closed form).
+_PROBE_RNG = random.Random(0)
+
+#: Number of samples drawn by the ``expected_delay`` probing fallback.
+_PROBE_SAMPLES = 32
+
 
 class LatencyModel(ABC):
-    """Base class for one-way delay models."""
+    """Base class for one-way delay models.
+
+    Subclasses that never consume the rng (no stochastic jitter) should set
+    :attr:`jitter_free` to ``True``: the transport then serves broadcasts
+    straight from the cached nominal rows with zero model calls.  All
+    shipped models are expected to override :meth:`expected_delay` with a
+    closed form — the 32-sample probing fallback below exists only for
+    third-party models and is O(samples) per pair (pinned by a test that
+    every registered model overrides it).
+    """
+
+    #: ``True`` when :meth:`delay` never consumes the rng.  Models claiming
+    #: this must also be time-invariant per pair: the nominal rows are
+    #: cached per sender and reused for the whole simulation.
+    jitter_free: bool = False
 
     @abstractmethod
     def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
         """Return the one-way propagation delay in seconds for this message."""
 
+    # ------------------------------------------------------------------ #
+    # Batched row API (the broadcast hot path)
+    # ------------------------------------------------------------------ #
+
+    def nominal_row(self, sender: int, receivers: Sequence[int]) -> List[float]:
+        """Dense per-destination nominal (jitter-free) delays for a fan-out.
+
+        The row is aligned with ``receivers`` (the sender's own entry is the
+        self-delivery delay) and cached per sender, so a broadcast costs one
+        O(1) lookup after the first call.  Callers must treat the returned
+        list as immutable — it is shared across calls.
+
+        The base fallback prices each pair with :meth:`delay` fed from a
+        fixed probe rng; it is only meaningful (and only used by the
+        transport) for :attr:`jitter_free` models, whose ``delay`` ignores
+        the rng entirely.
+        """
+        cache = self.__dict__.get("_nominal_row_cache")
+        if cache is None:
+            cache = self.__dict__["_nominal_row_cache"] = {}
+        entry = cache.get(sender)
+        if entry is not None and (entry[0] is receivers or entry[0] == receivers):
+            return entry[1]
+        row = self._build_nominal_row(sender, receivers)
+        cache[sender] = (tuple(receivers), row)
+        return row
+
+    def _build_nominal_row(self, sender: int, receivers: Sequence[int]) -> List[float]:
+        """Price one fan-out without consuming the caller's rng stream."""
+        _PROBE_RNG.seed(0)
+        return [self.delay(sender, receiver, _PROBE_RNG) for receiver in receivers]
+
+    def delay_row(self, sender: int, receivers: Sequence[int],
+                  rng: random.Random) -> List[float]:
+        """Per-destination delays for one broadcast, batched.
+
+        Equivalent to ``[self.delay(sender, r, rng) for r in receivers]`` —
+        the rng is consumed in the exact per-receiver order the scalar path
+        uses — but jittered shipped models apply their jitter in one pass
+        over the cached nominal row, and jitter-free models consume nothing
+        and return the cached row itself (callers must not mutate it).
+        """
+        if self.jitter_free:
+            return self.nominal_row(sender, receivers)
+        return [self.delay(sender, receiver, rng) for receiver in receivers]
+
+    def expected_row(self, sender: int, receivers: Sequence[int]) -> List[float]:
+        """Per-destination mean delays (the closed-form timeout row)."""
+        return [self.expected_delay(sender, receiver) for receiver in receivers]
+
+    # ------------------------------------------------------------------ #
+    # Timeout derivation
+    # ------------------------------------------------------------------ #
+
     def expected_delay(self, sender: int, receiver: int) -> float:
         """Return the mean one-way delay (used to derive protocol timeouts).
 
-        The default implementation samples with a fixed-seed RNG; subclasses
-        with a closed form override it.
+        The default implementation samples with a fixed-seed probe rng
+        (hoisted to module level and reseeded per call); every shipped model
+        overrides it with a closed form, and third-party models should too —
+        the fallback costs 32 ``delay`` calls per pair.
         """
-        probe = random.Random(0)
-        samples = [self.delay(sender, receiver, probe) for _ in range(32)]
+        _PROBE_RNG.seed(0)
+        samples = [self.delay(sender, receiver, _PROBE_RNG)
+                   for _ in range(_PROBE_SAMPLES)]
         return sum(samples) / len(samples)
 
     def max_expected_delay(self, replica_ids: Sequence[int]) -> float:
-        """Return the largest pairwise expected delay among ``replica_ids``."""
+        """Return the largest pairwise expected delay among ``replica_ids``.
+
+        Derived from the closed-form :meth:`expected_row` per sender rather
+        than probing each pair, so configuration-time timeout derivation is
+        O(n^2) arithmetic instead of O(n^2 · samples) model calls.
+        """
         worst = 0.0
-        for a in replica_ids:
-            for b in replica_ids:
-                if a == b:
-                    continue
-                worst = max(worst, self.expected_delay(a, b))
+        for sender in replica_ids:
+            row = self.expected_row(sender, replica_ids)
+            for receiver, value in zip(replica_ids, row):
+                if receiver != sender and value > worst:
+                    worst = value
         return worst
 
 
 class ConstantLatency(LatencyModel):
     """Every link has the same fixed one-way delay."""
+
+    jitter_free = True
 
     def __init__(self, delay_s: float, local_delay_s: float = 0.0005) -> None:
         if delay_s < 0:
@@ -57,6 +152,11 @@ class ConstantLatency(LatencyModel):
         if sender == receiver:
             return self._local
         return self._delay
+
+    def _build_nominal_row(self, sender: int, receivers: Sequence[int]) -> List[float]:
+        delay = self._delay
+        local = self._local
+        return [local if receiver == sender else delay for receiver in receivers]
 
     def expected_delay(self, sender: int, receiver: int) -> float:
         """Return the configured constant delay."""
@@ -78,6 +178,28 @@ class UniformLatency(LatencyModel):
             return self._low / 2 if self._low > 0 else 0.0005
         return rng.uniform(self._low, self._high)
 
+    def delay_row(self, sender: int, receivers: Sequence[int],
+                  rng: random.Random) -> List[float]:
+        """One uniform draw per non-self receiver, in receiver order.
+
+        ``rng.uniform(a, b)`` is ``a + (b - a) * rng.random()``; inlining
+        the affine form keeps the draws (and the float arithmetic)
+        bit-identical to the scalar path while skipping a method call per
+        receiver.
+        """
+        low = self._low
+        span = self._high - low
+        local = low / 2 if low > 0 else 0.0005
+        rand = rng.random
+        return [local if receiver == sender else low + span * rand()
+                for receiver in receivers]
+
+    def _build_nominal_row(self, sender: int, receivers: Sequence[int]) -> List[float]:
+        # The uniform model has no single nominal value; use the mean so the
+        # row is at least meaningful for reporting (the transport never uses
+        # it: the model is not jitter-free).
+        return self.expected_row(sender, receivers)
+
     def expected_delay(self, sender: int, receiver: int) -> float:
         """Return the mean of the uniform distribution."""
         if sender == receiver:
@@ -86,24 +208,34 @@ class UniformLatency(LatencyModel):
 
 
 class MatrixLatency(LatencyModel):
-    """Explicit per-pair delays, optionally with multiplicative jitter."""
+    """Explicit per-pair delays, optionally with multiplicative jitter.
+
+    Pair lookups accept either orientation: an entry for ``(a, b)`` also
+    prices ``(b, a)`` unless the reverse pair has its own entry.  The
+    orientation handling is resolved once at construction time into a
+    single canonical mapping, so the per-message lookup is one dict probe
+    (the scalar path used to probe ``(a, b)`` then ``(b, a)`` per copy).
+    """
 
     def __init__(self, delays: Dict[Tuple[int, int], float], jitter: float = 0.0,
                  default_s: float = 0.05) -> None:
         if jitter < 0:
             raise ValueError("jitter must be non-negative")
-        self._delays = dict(delays)
         self._jitter = jitter
         self._default = default_s
+        self.jitter_free = jitter <= 0
+        # Canonicalize at construction: exact entries win, then the mirror
+        # of the reverse entry; `_base` below is a single probe either way.
+        resolved: Dict[Tuple[int, int], float] = dict(delays)
+        for (a, b), value in delays.items():
+            resolved.setdefault((b, a), value)
+        self._delays = resolved
 
     def _base(self, sender: int, receiver: int) -> float:
         if sender == receiver:
             return self._delays.get((sender, receiver), 0.0005)
-        if (sender, receiver) in self._delays:
-            return self._delays[(sender, receiver)]
-        if (receiver, sender) in self._delays:
-            return self._delays[(receiver, sender)]
-        return self._default
+        value = self._delays.get((sender, receiver))
+        return self._default if value is None else value
 
     def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
         """Return the matrix delay, with multiplicative jitter if configured."""
@@ -112,12 +244,153 @@ class MatrixLatency(LatencyModel):
             return base
         return base * (1.0 + rng.uniform(0.0, self._jitter))
 
+    def _build_nominal_row(self, sender: int, receivers: Sequence[int]) -> List[float]:
+        base = self._base
+        return [base(sender, receiver) for receiver in receivers]
+
+    def delay_row(self, sender: int, receivers: Sequence[int],
+                  rng: random.Random) -> List[float]:
+        """Jitter the cached nominal row in one pass (one draw per receiver).
+
+        ``rng.uniform(0, j)`` is ``0.0 + j * rng.random()`` which is exactly
+        ``j * rng.random()`` for the non-negative draws involved, so the
+        inlined form is bit-identical to the scalar path.
+        """
+        row = self.nominal_row(sender, receivers)
+        jitter = self._jitter
+        if jitter <= 0:
+            return row
+        rand = rng.random
+        return [value * (1.0 + jitter * rand()) for value in row]
+
     def expected_delay(self, sender: int, receiver: int) -> float:
         """Return the matrix delay scaled by the mean jitter."""
         return self._base(sender, receiver) * (1.0 + self._jitter / 2)
 
+    def expected_row(self, sender: int, receivers: Sequence[int]) -> List[float]:
+        """The nominal row scaled by the mean jitter."""
+        scale = 1.0 + self._jitter / 2
+        return [value * scale for value in self.nominal_row(sender, receivers)]
 
-class GeoLatency(LatencyModel):
+
+class _TopologyLatency(LatencyModel):
+    """Shared machinery of the topology-derived models.
+
+    Nominal delays are materialised as one dense row per sender — a list
+    indexed by receiver id (topology replica ids are ``0..n-1``), built on
+    first use and O(1) per destination afterwards.  This replaces the
+    ``(a, b)``-tuple dict caches: a broadcast reads a whole row without
+    hashing a tuple per copy, and the scalar path indexes the same rows.
+    """
+
+    _topology: Topology
+    _jitter: float
+
+    def __init__(self, topology: Topology, jitter: float) -> None:
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self._topology = topology
+        self._jitter = jitter
+        self.jitter_free = jitter <= 0
+        self._rows: Dict[int, List[float]] = {}
+        self._pair_cache: Dict[Tuple[str, str], float] = {}
+        self._full_ids: Optional[Tuple[int, ...]] = None
+
+    @property
+    def topology(self) -> Topology:
+        """The topology this model is derived from."""
+        return self._topology
+
+    def _pair_nominal(self, sender: int, receiver: int) -> float:
+        """Price one (non-self) pair; subclasses implement the model."""
+        raise NotImplementedError
+
+    def _local_delay(self) -> float:
+        raise NotImplementedError
+
+    def _sender_row(self, sender: int) -> List[float]:
+        row = self._rows.get(sender)
+        if row is None:
+            # Both shipped subclasses price a pair purely from the two
+            # endpoints' datacenters, so cross-datacenter nominals are
+            # computed once per (datacenter, datacenter) pair and reused —
+            # warming all n rows costs O(n^2 + D^2) dict hits instead of
+            # O(n^2) model evaluations.
+            local = self._local_delay()
+            topology = self._topology
+            datacenter = topology.datacenter
+            pair_cache = self._pair_cache
+            sender_name = datacenter(sender).name
+            row = []
+            append = row.append
+            for receiver in range(topology.n):
+                if receiver == sender:
+                    append(local / 2)
+                    continue
+                receiver_name = datacenter(receiver).name
+                if receiver_name == sender_name:
+                    append(local)
+                    continue
+                key = (sender_name, receiver_name)
+                value = pair_cache.get(key)
+                if value is None:
+                    value = self._pair_nominal(sender, receiver)
+                    pair_cache[key] = value
+                append(value)
+            self._rows[sender] = row
+        return row
+
+    def _nominal(self, sender: int, receiver: int) -> float:
+        return self._sender_row(sender)[receiver]
+
+    def nominal_row(self, sender: int, receivers: Sequence[int]) -> List[float]:
+        """The sender's dense row (shared; callers must not mutate)."""
+        row = self._sender_row(sender)
+        full = self._full_ids
+        if receivers is full:
+            return row
+        if len(receivers) == len(row):
+            if full is None:
+                candidate = tuple(receivers)
+                if candidate == tuple(range(len(row))):
+                    self._full_ids = candidate
+                    return row
+            elif receivers == full:
+                return row
+        return [row[receiver] for receiver in receivers]
+
+    def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
+        """Return the nominal delay with multiplicative jitter."""
+        nominal = self._sender_row(sender)[receiver]
+        if self._jitter <= 0:
+            return nominal
+        return nominal * (1.0 + rng.uniform(0.0, self._jitter))
+
+    def delay_row(self, sender: int, receivers: Sequence[int],
+                  rng: random.Random) -> List[float]:
+        """Jitter the cached row in one pass (one draw per receiver).
+
+        The inlined ``j * rng.random()`` form is bit-identical to the scalar
+        path's ``rng.uniform(0.0, j)`` (``0.0 + (j - 0.0) * random()``).
+        """
+        row = self.nominal_row(sender, receivers)
+        jitter = self._jitter
+        if jitter <= 0:
+            return row
+        rand = rng.random
+        return [value * (1.0 + jitter * rand()) for value in row]
+
+    def expected_delay(self, sender: int, receiver: int) -> float:
+        """Return the nominal delay scaled by the mean jitter."""
+        return self._nominal(sender, receiver) * (1.0 + self._jitter / 2)
+
+    def expected_row(self, sender: int, receivers: Sequence[int]) -> List[float]:
+        """The nominal row scaled by the mean jitter."""
+        scale = 1.0 + self._jitter / 2
+        return [value * scale for value in self.nominal_row(sender, receivers)]
+
+
+class GeoLatency(_TopologyLatency):
     """Geographic delay model derived from a :class:`Topology`.
 
     One-way delay between replicas ``a`` and ``b``::
@@ -140,48 +413,20 @@ class GeoLatency(LatencyModel):
     ) -> None:
         if km_per_s <= 0:
             raise ValueError("km_per_s must be positive")
-        if jitter < 0:
-            raise ValueError("jitter must be non-negative")
-        self._topology = topology
+        super().__init__(topology, jitter)
         self._base = base_s
         self._km_per_s = km_per_s
         self._local = local_delay_s
-        self._jitter = jitter
-        self._cache: Dict[Tuple[int, int], float] = {}
 
-    @property
-    def topology(self) -> Topology:
-        """The topology this model is derived from."""
-        return self._topology
+    def _local_delay(self) -> float:
+        return self._local
 
-    def _nominal(self, sender: int, receiver: int) -> float:
-        if sender == receiver:
-            return self._local / 2
-        key = (sender, receiver)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        if self._topology.colocated(sender, receiver):
-            value = self._local
-        else:
-            distance = self._topology.distance_km(sender, receiver)
-            value = self._base + distance / self._km_per_s
-        self._cache[key] = value
-        return value
-
-    def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
-        """Return the geographic delay with multiplicative jitter."""
-        nominal = self._nominal(sender, receiver)
-        if self._jitter <= 0:
-            return nominal
-        return nominal * (1.0 + rng.uniform(0.0, self._jitter))
-
-    def expected_delay(self, sender: int, receiver: int) -> float:
-        """Return the nominal delay scaled by the mean jitter."""
-        return self._nominal(sender, receiver) * (1.0 + self._jitter / 2)
+    def _pair_nominal(self, sender: int, receiver: int) -> float:
+        distance = self._topology.distance_km(sender, receiver)
+        return self._base + distance / self._km_per_s
 
 
-class WanMatrixLatency(LatencyModel):
+class WanMatrixLatency(_TopologyLatency):
     """Measured cloud-region RTTs mapped onto a :class:`Topology`.
 
     Where :class:`GeoLatency` *estimates* delay from great-circle distance,
@@ -194,8 +439,9 @@ class WanMatrixLatency(LatencyModel):
     coefficients.  Same-datacenter replicas see the small local delay;
     jitter is multiplicative, exactly as in the other models.
 
-    Nominal delays are cached per replica pair — at n=256 that is up to
-    ``n^2`` entries resolved once, then O(1) per message.
+    Nominal delays are materialised as one dense row per sender (n rows of
+    n floats at n=256), resolved once, then O(1) per message and O(n) — no
+    lookups — per broadcast.
     """
 
     def __init__(
@@ -206,52 +452,23 @@ class WanMatrixLatency(LatencyModel):
         fallback_base_s: float = 0.002,
         fallback_km_per_s: float = 100_000.0,
     ) -> None:
-        if jitter < 0:
-            raise ValueError("jitter must be non-negative")
         if fallback_km_per_s <= 0:
             raise ValueError("fallback_km_per_s must be positive")
-        self._topology = topology
-        self._jitter = jitter
+        super().__init__(topology, jitter)
         self._local = local_delay_s
         self._fallback_base = fallback_base_s
         self._fallback_km_per_s = fallback_km_per_s
-        self._cache: Dict[Tuple[int, int], float] = {}
 
-    @property
-    def topology(self) -> Topology:
-        """The topology this model is derived from."""
-        return self._topology
+    def _local_delay(self) -> float:
+        return self._local
 
-    def _nominal(self, sender: int, receiver: int) -> float:
-        if sender == receiver:
-            return self._local / 2
-        key = (sender, receiver)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        if self._topology.colocated(sender, receiver):
-            value = self._local
-        else:
-            rtt = region_rtt_ms(self._topology.datacenter(sender).name,
-                                self._topology.datacenter(receiver).name)
-            if rtt is not None:
-                value = rtt / 2000.0  # half the RTT, ms -> s
-            else:
-                distance = self._topology.distance_km(sender, receiver)
-                value = self._fallback_base + distance / self._fallback_km_per_s
-        self._cache[key] = value
-        return value
-
-    def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
-        """Return the measured-RTT delay with multiplicative jitter."""
-        nominal = self._nominal(sender, receiver)
-        if self._jitter <= 0:
-            return nominal
-        return nominal * (1.0 + rng.uniform(0.0, self._jitter))
-
-    def expected_delay(self, sender: int, receiver: int) -> float:
-        """Return the nominal delay scaled by the mean jitter."""
-        return self._nominal(sender, receiver) * (1.0 + self._jitter / 2)
+    def _pair_nominal(self, sender: int, receiver: int) -> float:
+        rtt = region_rtt_ms(self._topology.datacenter(sender).name,
+                            self._topology.datacenter(receiver).name)
+        if rtt is not None:
+            return rtt / 2000.0  # half the RTT, ms -> s
+        distance = self._topology.distance_km(sender, receiver)
+        return self._fallback_base + distance / self._fallback_km_per_s
 
 
 #: Topology-derived latency models selectable by name through

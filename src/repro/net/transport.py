@@ -113,6 +113,34 @@ class Transport(ABC):
             and not faults.partitions.windows
             and not faults.loss_bursts
         )
+        # Row-path gates, also hoisted.  Transfer rows may only be cached
+        # when the bandwidth model is the stock pure-function one — a
+        # subclass could be stateful or time-varying, so it keeps the
+        # per-copy call pattern.  Latency rows come from the model's own
+        # batched API (with a scalar-equivalent base fallback), so they are
+        # always safe; `jitter_free` additionally means zero rng draws.
+        self._latency_jitter_free = bool(getattr(latency, "jitter_free", False))
+        self._cacheable_bandwidth = type(bandwidth) is BandwidthModel
+        self._transfer_row_cache: Dict[Tuple[int, int], Tuple[Tuple[int, ...], List[float]]] = {}
+
+    def _transfer_row(self, sender: int, receivers: Sequence[int],
+                      size: int) -> List[float]:
+        """Per-destination transfer times, cached per ``(sender, size)``.
+
+        Only called on the row path (stock bandwidth model), where
+        ``transfer_time`` is a pure function of the pair and size.  The
+        cached row is validated against ``receivers`` (identity first — the
+        simulator passes the same replica-id tuple every broadcast) so a
+        different receiver set rebuilds rather than misprices.
+        """
+        key = (sender, size)
+        entry = self._transfer_row_cache.get(key)
+        if entry is not None and (entry[0] is receivers or entry[0] == receivers):
+            return entry[1]
+        transfer_time = self.bandwidth.transfer_time
+        row = [transfer_time(sender, receiver, size) for receiver in receivers]
+        self._transfer_row_cache[key] = (tuple(receivers), row)
+        return row
 
     @abstractmethod
     def unicast(self, sender: int, receiver: int, message: Message, now: float,
@@ -144,6 +172,22 @@ class Transport(ABC):
             (delivery.receiver, delivery.deliver_at)
             for delivery in self.broadcast(sender, receivers, message, now, rng)
         ]
+
+    def broadcast_arrival_row(self, sender: int, receivers: Sequence[int],
+                              message: Message, now: float,
+                              rng: random.Random) -> Optional[List[float]]:
+        """Arrival times aligned with ``receivers``, or ``None``.
+
+        The densest broadcast shape: when no copy can be dropped or held
+        the result is one float per receiver, positionally aligned with
+        ``receivers`` — the simulator then groups deliveries without
+        materialising ``(receiver, time)`` tuples.  ``None`` means the
+        transport cannot guarantee the aligned no-drop shape here (faults
+        active, custom models); callers fall back to
+        :meth:`broadcast_times`.  Overrides must consume ``rng`` exactly as
+        :meth:`broadcast` would.
+        """
+        return None
 
     def reset(self) -> None:
         """Clear inter-simulation state (NIC queues, counters)."""
@@ -221,19 +265,98 @@ class DirectTransport(Transport):
     def broadcast_times(self, sender: int, receivers: Sequence[int],
                         message: Message, now: float,
                         rng: random.Random) -> List[Tuple[int, float]]:
-        """:meth:`broadcast` without the Delivery objects; same arithmetic,
-        same per-receiver rng order."""
+        """:meth:`broadcast` without the Delivery objects, row-batched.
+
+        The arithmetic is kept bit-identical to the scalar pipeline: every
+        arrival is ``send_time + transfer + propagation`` evaluated left to
+        right, with the transfer and propagation terms read from cached /
+        batched rows instead of per-copy calls.  The rng order is preserved
+        by case analysis — jitter-free models draw nothing; jittered models
+        draw once per (surviving) receiver in receiver order; the one
+        combination where drop draws interleave with propagation draws
+        falls back to the scalar loop.
+        """
         size = getattr(message, "wire_size", 0)
-        transfer_time = self.bandwidth.transfer_time
-        delay = self.latency.delay
+        if self._trivial_faults:
+            row = self.broadcast_arrival_row(sender, receivers, message, now, rng)
+            if row is not None:
+                return list(zip(receivers, row))
+            # Third-party bandwidth model: per-copy transfer calls, but the
+            # propagation side still comes from one batched row.
+            propagation_row = self.latency.delay_row(sender, receivers, rng)
+            transfer_time = self.bandwidth.transfer_time
+            return [(receiver, now + transfer_time(sender, receiver, size) + propagation)
+                    for receiver, propagation in zip(receivers, propagation_row)]
+        faults = self.faults
+        if not self._latency_jitter_free and faults.drop_draws_rng(now):
+            # Drop draws interleave with propagation draws per receiver;
+            # batching would reorder the stream, so keep the scalar loop.
+            return self._broadcast_times_scalar(sender, receivers, size, now, rng)
         pairs: List[Tuple[int, float]] = []
         append = pairs.append
-        if self._trivial_faults:
-            for receiver in receivers:
-                transfer = transfer_time(sender, receiver, size)
-                append((receiver, now + transfer + delay(sender, receiver, rng)))
+        transfer_time = self.bandwidth.transfer_time
+        if self._latency_jitter_free:
+            # Fault checks may draw (drop probability / bursts) but the
+            # model never does, so per-receiver order is just the drop
+            # draws — identical to the scalar loop.
+            propagation_row = self.latency.nominal_row(sender, receivers)
+            for receiver, propagation in zip(receivers, propagation_row):
+                if faults.should_drop(sender, receiver, now, rng):
+                    continue
+                send_time = now
+                release = faults.partition_release(sender, receiver, now)
+                if release is not None:
+                    send_time = release
+                append((receiver, send_time
+                        + transfer_time(sender, receiver, size) + propagation))
             return pairs
+        # Jittered model, fault checks that never draw (crashes/partitions):
+        # the scalar loop draws propagation only for surviving receivers, so
+        # filter first, then batch the draws over the survivors in order.
+        survivors = [receiver for receiver in receivers
+                     if not faults.should_drop(sender, receiver, now, rng)]
+        propagation_row = self.latency.delay_row(sender, survivors, rng)
+        for receiver, propagation in zip(survivors, propagation_row):
+            send_time = now
+            release = faults.partition_release(sender, receiver, now)
+            if release is not None:
+                send_time = release
+            append((receiver, send_time
+                    + transfer_time(sender, receiver, size) + propagation))
+        return pairs
+
+    def broadcast_arrival_row(self, sender: int, receivers: Sequence[int],
+                              message: Message, now: float,
+                              rng: random.Random) -> Optional[List[float]]:
+        """The flood hot path: one cached-row add per receiver.
+
+        With trivial faults and the stock bandwidth model nothing can drop
+        or hold, so the whole broadcast is ``now + transfer[i] +
+        propagation[i]`` over cached rows — zero model, fault, or transfer
+        calls, and zero rng draws for jitter-free latency models (one
+        ``random()`` per receiver otherwise, via ``delay_row``).
+        """
+        if not self._trivial_faults or not self._cacheable_bandwidth:
+            return None
+        size = getattr(message, "wire_size", 0)
+        transfer_row = self._transfer_row(sender, receivers, size)
+        if self._latency_jitter_free:
+            propagation_row = self.latency.nominal_row(sender, receivers)
+        else:
+            propagation_row = self.latency.delay_row(sender, receivers, rng)
+        return [now + transfer + propagation
+                for transfer, propagation in zip(transfer_row, propagation_row)]
+
+    def _broadcast_times_scalar(self, sender: int, receivers: Sequence[int],
+                                size: int, now: float,
+                                rng: random.Random) -> List[Tuple[int, float]]:
+        """The original per-copy pipeline (drop and propagation draws
+        interleaved per receiver)."""
+        transfer_time = self.bandwidth.transfer_time
+        delay = self.latency.delay
         faults = self.faults
+        pairs: List[Tuple[int, float]] = []
+        append = pairs.append
         for receiver in receivers:
             if faults.should_drop(sender, receiver, now, rng):
                 continue
@@ -430,11 +553,26 @@ class ContendedUplinkTransport(Transport):
     def broadcast_times(self, sender: int, receivers: Sequence[int],
                         message: Message, now: float,
                         rng: random.Random) -> List[Tuple[int, float]]:
-        """:meth:`broadcast` without the Delivery objects (same drain math)."""
+        """:meth:`broadcast` without the Delivery objects (same drain math).
+
+        The propagation terms come from the latency model's batched row
+        API: one `delay_row` over the (surviving) receivers replaces the
+        per-copy `delay` calls, with the same draws in the same order.
+        Scalar per-receiver draws are kept only when drop draws would
+        interleave with jitter draws.
+        """
         size = getattr(message, "wire_size", 0)
         trivial = self._trivial_faults
         faults = self.faults
-        delay = self.latency.delay
+        if trivial:
+            survivors = receivers
+        elif self._latency_jitter_free or not faults.drop_draws_rng(now):
+            # The drop pass consumes any drop draws first; the scalar loop
+            # would have drawn propagation only for survivors afterwards.
+            survivors = [receiver for receiver in receivers
+                         if not faults.should_drop(sender, receiver, now, rng)]
+        else:
+            survivors = None  # interleaved draws: scalar fallback below
         transfer = (self.bandwidth.per_message_overhead_s
                     + size / self.uplink_bytes_per_s)
         nic = self._nic_free_at.get(sender, 0.0)
@@ -446,8 +584,41 @@ class ContendedUplinkTransport(Transport):
         queue_max = self._queue_delay_max
         pairs: List[Tuple[int, float]] = []
         append = pairs.append
+        if survivors is not None:
+            propagation_row = self.latency.delay_row(sender, survivors, rng)
+            for receiver, propagation in zip(survivors, propagation_row):
+                if receiver == sender:
+                    done = now + self.bandwidth.transfer_time(sender, receiver, size)
+                    if not trivial:
+                        release = faults.partition_release(sender, receiver, done)
+                        if release is not None:
+                            done = release
+                    append((receiver, done + propagation))
+                    continue
+                queue = nic - now
+                done = nic + transfer
+                nic = done
+                wire_copies += 1
+                if queue > 0.0:
+                    queued += 1
+                    queue_total += queue
+                    if queue > queue_max:
+                        queue_max = queue
+                if not trivial:
+                    release = faults.partition_release(sender, receiver, done)
+                    if release is not None:
+                        done = release
+                append((receiver, done + propagation))
+            if wire_copies:
+                self._nic_free_at[sender] = nic
+                self._wire_bytes += wire_copies * size
+                self._queued_messages += queued
+                self._queue_delay_total = queue_total
+                self._queue_delay_max = queue_max
+            return pairs
+        delay = self.latency.delay
         for receiver in receivers:
-            if not trivial and faults.should_drop(sender, receiver, now, rng):
+            if faults.should_drop(sender, receiver, now, rng):
                 continue
             propagation = delay(sender, receiver, rng)
             if receiver == sender:
@@ -519,6 +690,9 @@ class RelayTransport(Transport):
         self._sender_copies = 0
         self._sender_bytes = 0
         self._direct = DirectTransport(latency, bandwidth, faults)
+        # (sender, size) -> (receivers key, relay/tail row templates,
+        # counter deltas); see _relay_template.
+        self._relay_template_cache: Dict[Tuple[int, int], tuple] = {}
 
     def reset(self) -> None:
         """Clear the wire counters."""
@@ -646,6 +820,115 @@ class RelayTransport(Transport):
             # hop was counted once when the relay's own copy was scheduled.
             self._count_wire(sender=False, size=size)
         return deliveries
+
+    def _relay_template(self, sender: int, receivers: Sequence[int],
+                        size: int) -> Optional[tuple]:
+        """The fault-free tree flattened to per-copy rows, cached.
+
+        With trivial faults the relay set, child assignment, transfer
+        times, and nominal propagation terms are all pure functions of
+        ``(sender, receivers, size)``, so the whole broadcast collapses to
+        two precomputed rows:
+
+        * ``relay_entries`` — ``(relay, transfer, nominal)`` per relay, in
+          the order the scalar path schedules them;
+        * ``tail_entries`` — ``(receiver, relay_index, src, transfer,
+          nominal)`` for the self copy (``relay_index == -1``, priced from
+          the sender) and each child (priced from its relay), in receiver
+          order.
+
+        ``None`` means no relay is available (the scalar path falls back to
+        a direct broadcast).
+        """
+        key = (sender, size)
+        entry = self._relay_template_cache.get(key)
+        if entry is not None and (entry[0] is receivers or entry[0] == receivers):
+            return entry[1]
+        relay_ids = [receiver for receiver in receivers
+                     if receiver != sender][: self.relays]
+        if not relay_ids:
+            template = None
+        else:
+            transfer_time = self.bandwidth.transfer_time
+            index = {receiver: i for i, receiver in enumerate(receivers)}
+            sender_nominal = self.latency.nominal_row(sender, receivers)
+            relay_entries = [
+                (relay, transfer_time(sender, relay, size),
+                 sender_nominal[index[relay]])
+                for relay in relay_ids
+            ]
+            relay_pos = {relay: i for i, relay in enumerate(relay_ids)}
+            relay_nominals = {
+                relay: self.latency.nominal_row(relay, receivers)
+                for relay in relay_ids
+            }
+            tail_entries = []
+            child_index = 0
+            for receiver in receivers:
+                if receiver == sender:
+                    tail_entries.append(
+                        (receiver, -1, sender,
+                         transfer_time(sender, receiver, size),
+                         sender_nominal[index[receiver]]))
+                    continue
+                if receiver in relay_pos:
+                    continue
+                relay = relay_ids[child_index % len(relay_ids)]
+                child_index += 1
+                tail_entries.append(
+                    (receiver, relay_pos[relay], relay,
+                     transfer_time(relay, receiver, size),
+                     relay_nominals[relay][index[receiver]]))
+            wire_copies = len(relay_ids) + child_index
+            template = (relay_entries, tail_entries, wire_copies, len(relay_ids))
+        self._relay_template_cache[key] = (tuple(receivers), template)
+        return template
+
+    def broadcast_times(self, sender: int, receivers: Sequence[int],
+                        message: Message, now: float,
+                        rng: random.Random) -> List[Tuple[int, float]]:
+        """:meth:`broadcast` reduced to arrival pairs, template-batched.
+
+        With trivial faults and the stock bandwidth model the tree shape is
+        invariant, so the broadcast replays the cached template: pure float
+        adds for jitter-free models, or one :meth:`LatencyModel.delay` draw
+        per copy (same sources, same order as the scalar path) otherwise.
+        Counters advance by the template's precomputed deltas.  Any faulty
+        or custom-bandwidth configuration keeps the scalar pipeline.
+        """
+        if not self._trivial_faults or not self._cacheable_bandwidth:
+            return super().broadcast_times(sender, receivers, message, now, rng)
+        size = getattr(message, "wire_size", 0)
+        template = self._relay_template(sender, receivers, size)
+        if template is None:
+            return super().broadcast_times(sender, receivers, message, now, rng)
+        relay_entries, tail_entries, wire_copies, sender_copies = template
+        pairs: List[Tuple[int, float]] = []
+        append = pairs.append
+        arrivals: List[float] = []
+        arrived = arrivals.append
+        if self._latency_jitter_free:
+            for relay, transfer, propagation in relay_entries:
+                at = now + transfer + propagation
+                arrived(at)
+                append((relay, at))
+            for receiver, relay_index, _src, transfer, propagation in tail_entries:
+                base = now if relay_index < 0 else arrivals[relay_index]
+                append((receiver, base + transfer + propagation))
+        else:
+            delay = self.latency.delay
+            for relay, transfer, _nominal in relay_entries:
+                at = now + transfer + delay(sender, relay, rng)
+                arrived(at)
+                append((relay, at))
+            for receiver, relay_index, src, transfer, _nominal in tail_entries:
+                base = now if relay_index < 0 else arrivals[relay_index]
+                append((receiver, base + transfer + delay(src, receiver, rng)))
+        self._wire_copies += wire_copies
+        self._wire_bytes += wire_copies * size
+        self._sender_copies += sender_copies
+        self._sender_bytes += sender_copies * size
+        return pairs
 
 
 #: Transport registry, keyed by the names accepted by

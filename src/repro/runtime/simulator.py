@@ -53,6 +53,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import operator
 import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
@@ -121,6 +122,10 @@ class CommitRecord:
 
 #: Event target used for injected external events (not a replica id).
 _EXTERNAL_TARGET = -1
+
+#: Sort key extracting ``deliver_at`` from a ``(receiver, deliver_at)``
+#: transport pair (C-level, for the sbatch schedule's stable time sort).
+_PAIR_TIME = operator.itemgetter(1)
 
 #: Signature of delivery listeners registered via
 #: :meth:`Simulation.add_delivery_listener`: ``(sender, receiver, message,
@@ -233,6 +238,33 @@ class Simulation:
         self._messages_dropped = 0
         self._bytes_sent = 0
         self._started = False
+        # Scratch buffer for mbatch group formation, reused across
+        # broadcasts (the dict only — member lists are handed to heap
+        # events and must stay fresh).
+        self._group_scratch: Dict[float, list] = {}
+        # Under a jittered latency model broadcast arrival instants are
+        # (almost surely) pairwise distinct, so same-instant grouping buys
+        # nothing while still paying one heap entry per copy — and with
+        # every in-flight copy resident, the heap itself grows to n x the
+        # broadcasts in flight, inflating every sift.  Those runs schedule
+        # each broadcast as a single chained "sbatch" event instead (see
+        # :meth:`_broadcast_message`).
+        latency_model = getattr(self._transport, "latency", self.network.latency)
+        self._spread_broadcasts = not bool(getattr(latency_model, "jitter_free",
+                                                   False))
+        # Scheduled-event tallies by heap-event kind (``mbatch_members`` /
+        # ``sbatch_members`` count the deliveries folded into the batch
+        # events), surfaced by :meth:`event_counts` and the CLI
+        # ``--profile`` flag.
+        self._event_kind_counts: Dict[str, int] = {
+            "message": 0,
+            "mbatch": 0,
+            "mbatch_members": 0,
+            "sbatch": 0,
+            "sbatch_members": 0,
+            "timer": 0,
+            "external": 0,
+        }
 
     # ------------------------------------------------------------------ #
     # Observability
@@ -324,6 +356,21 @@ class Simulation:
         """Total external events injected via :meth:`schedule_external`."""
         return self._external_scheduled
 
+    def event_counts(self) -> Dict[str, int]:
+        """Scheduled heap events tallied by kind.
+
+        ``message``/``mbatch``/``sbatch``/``timer``/``external`` count heap
+        pushes at schedule time; ``mbatch_members`` / ``sbatch_members``
+        count the individual deliveries folded into the batch events, so
+        ``message + mbatch_members + sbatch_members`` is the total delivery
+        attempts scheduled and ``members / batches`` the mean batching
+        factor — the first thing to look at when profiling the event loop.
+        (``mbatch`` groups same-instant copies under zero-jitter latency;
+        ``sbatch`` chains one jittered broadcast's time-sorted copies
+        through a single resident heap entry.)
+        """
+        return dict(self._event_kind_counts)
+
     # ------------------------------------------------------------------ #
     # External event injection
     # ------------------------------------------------------------------ #
@@ -350,6 +397,7 @@ class Simulation:
         if not callable(callback):
             raise TypeError("external event callback must be callable")
         self._external_scheduled += 1
+        self._event_kind_counts["external"] += 1
         heapq.heappush(self._queue, (self.now + delay, next(self._seq), "external",
                                      _EXTERNAL_TARGET, callback))
 
@@ -411,6 +459,18 @@ class Simulation:
                                            (targets[1:], payload)))
                 kind = "message"
                 target = targets[0]
+            elif kind == "sbatch":
+                # Unfold the chained jittered broadcast the same way run()
+                # does: re-push the successor member under the batch's
+                # original seq, then process this member as a plain delivery.
+                schedule, index, payload = payload
+                index += 1
+                if index < len(schedule):
+                    next_time, next_receiver = schedule[index]
+                    heapq.heappush(queue, (next_time, _seq, "sbatch",
+                                           next_receiver,
+                                           [schedule, index, payload]))
+                kind = "message"
             if kind == "timer":
                 timer_id = payload.timer_id
                 self._pending_timers.discard(timer_id)
@@ -517,6 +577,51 @@ class Simulation:
                                 if self._compute_listeners:
                                     self._notify_compute("cpu-busy", target,
                                                          self.now, cost, message)
+                elif kind == "sbatch":
+                    # One in-flight jittered broadcast, delivered one member
+                    # per pop.  ``payload`` is the mutable
+                    # ``[schedule, index, (sender, message)]`` state; the
+                    # successor member is re-pushed first, under the batch's
+                    # original seq, so exact-time ties against surrounding
+                    # events break exactly as the per-copy pushes would have
+                    # (see _broadcast_message).
+                    schedule, index, mpayload = payload
+                    index += 1
+                    if index < len(schedule):
+                        payload[1] = index
+                        next_time, next_receiver = schedule[index]
+                        heappush(queue, (next_time, _seq, "sbatch",
+                                         next_receiver, payload))
+                    if message_cost is not None:
+                        free_at = busy_until.get(target, 0.0)
+                        if free_at > time_:
+                            # Busy core: this member queues on the CPU
+                            # timeline as a plain per-copy delivery, exactly
+                            # like the "message" branch above; the deferral
+                            # re-enters the outer loop without counting
+                            # against the event budget.
+                            compute.record_wait(target, free_at - time_)
+                            if self._compute_listeners:
+                                self._notify_compute("cpu-wait", target, time_,
+                                                     free_at - time_, None)
+                            heappush(queue, (free_at, next(seq), "message",
+                                             target, mpayload))
+                            break
+                    if is_crashed is not None and is_crashed(target, self.now):
+                        self._messages_dropped += 1
+                    else:
+                        sender, message = mpayload
+                        self._messages_delivered += 1
+                        protocols[target].on_message(contexts[target], sender,
+                                                     message)
+                        if message_cost is not None:
+                            cost = message_cost(target, sender, message)
+                            if cost > 0.0:
+                                compute.record_busy(target, self.now, cost)
+                                if self._compute_listeners:
+                                    self._notify_compute("cpu-busy", target,
+                                                         self.now, cost,
+                                                         message)
                 elif kind == "mbatch":
                     # A same-instant broadcast group: every member is a
                     # delivery at exactly ``time_``, processed back-to-back
@@ -603,6 +708,7 @@ class Simulation:
         if delivery is None:
             self._messages_dropped += 1
             return
+        self._event_kind_counts["message"] += 1
         heapq.heappush(self._queue, (delivery.deliver_at, next(self._seq), "message",
                                      receiver, (sender, message)))
 
@@ -623,6 +729,7 @@ class Simulation:
             dropped = count - len(deliveries)
             if dropped:
                 self._messages_dropped += dropped
+            self._event_kind_counts["message"] += len(deliveries)
             for delivery in deliveries:
                 heappush(queue, (delivery.deliver_at, next(seq), "message",
                                  delivery.receiver, payload))
@@ -632,33 +739,87 @@ class Simulation:
                 for listener in self._delivery_listeners:
                     listener(sender, receiver, message, self.now, delivery)
             return
-        pairs = self._transport.broadcast_times(sender, receivers, message,
-                                                self.now, self._rng)
-        dropped = count - len(pairs)
-        if dropped:
-            self._messages_dropped += dropped
+        counts = self._event_kind_counts
+        row = self._transport.broadcast_arrival_row(sender, receivers, message,
+                                                    self.now, self._rng)
+        if self._spread_broadcasts:
+            # Jittered latency: arrival instants are almost surely pairwise
+            # distinct, so the whole broadcast becomes ONE chained "sbatch"
+            # heap event holding the time-sorted schedule — each pop
+            # delivers one member and re-pushes the successor under the
+            # batch's original seq.  The heap holds one entry per in-flight
+            # broadcast instead of n, shrinking every sift, and scheduling
+            # costs one C sort + one push instead of n pushes.  Ordering is
+            # identical to the per-copy pipeline: the n per-copy seqs of a
+            # broadcast form one contiguous block, so any other event's seq
+            # is either below the whole block (it wins exact-time ties both
+            # ways) or above it (it loses them both ways), and same-time
+            # members keep their per-copy push order via the stable sort.
+            if row is not None:
+                # ``receivers`` is ascending, so tuple comparison on equal
+                # times reproduces the per-copy (receiver-order) tie-break.
+                schedule = sorted(zip(row, receivers))
+            else:
+                pairs = self._transport.broadcast_times(
+                    sender, receivers, message, self.now, self._rng)
+                dropped = count - len(pairs)
+                if dropped:
+                    self._messages_dropped += dropped
+                # Stable sort on the time field alone: relay pairs are not
+                # in receiver order, and exact-time ties must keep the
+                # transport's pair order (= the per-copy push order).
+                pairs.sort(key=_PAIR_TIME)
+                schedule = [(deliver_at, receiver)
+                            for receiver, deliver_at in pairs]
+            if schedule:
+                counts["sbatch"] += 1
+                counts["sbatch_members"] += len(schedule)
+                first_time, first_receiver = schedule[0]
+                heappush(queue, (first_time, next(seq), "sbatch",
+                                 first_receiver, [schedule, 0, payload]))
+            return
         # Group copies arriving at the same instant into one heap event
         # ("mbatch"): under a zero-jitter latency model an n-way broadcast
         # costs one heap push/pop instead of n.  Groups are keyed by the
         # exact arrival float and formed in receiver order, so relative
         # event order is identical to the per-copy pipeline: same-time
         # copies were consecutive in seq order anyway, and distinct times
-        # order by the heap key regardless of seq.
-        groups: Dict[float, list] = {}
+        # order by the heap key regardless of seq.  The group dict is a
+        # scratch buffer reused across broadcasts; the fast path consumes
+        # the transport's aligned arrival row directly (no pair tuples).
+        groups = self._group_scratch
         get_group = groups.get
-        for receiver, deliver_at in pairs:
-            group = get_group(deliver_at)
-            if group is None:
-                groups[deliver_at] = [receiver]
-            else:
-                group.append(receiver)
+        if row is not None:
+            for receiver, deliver_at in zip(receivers, row):
+                group = get_group(deliver_at)
+                if group is None:
+                    groups[deliver_at] = [receiver]
+                else:
+                    group.append(receiver)
+        else:
+            pairs = self._transport.broadcast_times(sender, receivers, message,
+                                                    self.now, self._rng)
+            dropped = count - len(pairs)
+            if dropped:
+                self._messages_dropped += dropped
+            for receiver, deliver_at in pairs:
+                group = get_group(deliver_at)
+                if group is None:
+                    groups[deliver_at] = [receiver]
+                else:
+                    group.append(receiver)
         for deliver_at, targets in groups.items():
-            if len(targets) == 1:
+            size = len(targets)
+            if size == 1:
+                counts["message"] += 1
                 heappush(queue, (deliver_at, next(seq), "message",
                                  targets[0], payload))
             else:
+                counts["mbatch"] += 1
+                counts["mbatch_members"] += size
                 heappush(queue, (deliver_at, next(seq), "mbatch",
                                  _EXTERNAL_TARGET, (targets, payload)))
+        groups.clear()
 
     def _arm_timer(self, replica_id: int, delay: float, name: str, data: Any) -> int:
         if delay < 0:
@@ -666,6 +827,7 @@ class Simulation:
         timer_id = next(self._timer_ids)
         timer = Timer(name=name, fire_time=self.now + delay, data=data, timer_id=timer_id)
         self._pending_timers.add(timer_id)
+        self._event_kind_counts["timer"] += 1
         heapq.heappush(self._queue, (timer.fire_time, next(self._seq), "timer",
                                      replica_id, timer))
         return timer_id
