@@ -143,6 +143,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="run one replication under cProfile and dump "
                                  "the top-25 cumulative functions plus "
                                  "per-event-kind counts to stderr")
+    run_parser.add_argument("--profile-out", metavar="PATH", default=None,
+                            help="with --profile (implied), also dump the raw "
+                                 "pstats data to PATH for offline analysis "
+                                 "(python -m pstats PATH / snakeviz)")
     _add_runner_arguments(run_parser)
 
     workload_parser = subparsers.add_parser(
@@ -332,8 +336,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                           compute_scale=(args.compute_scale
                                          if args.compute_scale is not None else 1.0),
                           latency_model=args.latency_model)
-    if args.profile:
-        return _run_profiled(spec)
+    if args.profile or args.profile_out:
+        return _run_profiled(spec, profile_out=args.profile_out)
     plan = ExperimentPlan(name="run", title="custom experiment",
                           specs=[spec]).with_replications(args.seeds)
     runner = _runner_kwargs(args)
@@ -344,14 +348,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_profiled(spec: ExperimentSpec) -> int:
+def _run_profiled(spec: ExperimentSpec, profile_out: Optional[str] = None) -> int:
     """Run one replication of ``spec`` under cProfile.
 
     The result row prints to stdout as usual; the profile (top 25 by
     cumulative time) and the simulator's per-event-kind counts go to
     stderr, so ``banyan-repro run --profile 2>profile.txt`` separates the
-    two.  This bypasses the plan runner — the profile must capture the
-    simulation itself, not a worker pool.
+    two.  With ``profile_out`` the raw pstats data is additionally dumped
+    to that path (loadable via ``python -m pstats`` or snakeviz).  This
+    bypasses the plan runner — the profile must capture the simulation
+    itself, not a worker pool.
     """
     import cProfile
     import pstats
@@ -365,6 +371,8 @@ def _run_profiled(spec: ExperimentSpec) -> int:
                             on_simulation=lambda sim: captured.update(sim=sim))
     profiler.disable()
     stats = pstats.Stats(profiler, stream=sys.stderr)
+    if profile_out:
+        stats.dump_stats(profile_out)
     stats.sort_stats("cumulative").print_stats(25)
     counts = captured["sim"].event_counts()
     print("scheduled events by kind:", file=sys.stderr)

@@ -10,7 +10,7 @@ datacenter.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.net.topology import Topology
 
@@ -40,6 +40,9 @@ class BandwidthModel:
         self._lan = lan_bytes_per_s
         self._overhead = per_message_overhead_s
         self._topology = topology
+        # (sender-datacenter, size) -> (receivers key, shared row); see
+        # transfer_row.
+        self._row_template_cache: Dict[Tuple[str, int], tuple] = {}
 
     @property
     def per_message_overhead_s(self) -> float:
@@ -57,6 +60,38 @@ class BandwidthModel:
         else:
             rate = self._wan
         return self._overhead + size_bytes / rate
+
+    def transfer_row(self, sender: int, receivers: Sequence[int],
+                     size_bytes: int) -> List[float]:
+        """Per-receiver transfer times, element-identical to per-call
+        :meth:`transfer_time`.
+
+        Only two values exist per size — the LAN rate for same-datacenter
+        (and self) copies, the WAN rate otherwise — and which applies
+        depends only on the sender's datacenter, so the row is built once
+        per ``(sender-datacenter, size)`` and shared (all senders in one
+        datacenter see the same row: the self entry is LAN-priced either
+        way).  Callers must treat the returned list as immutable.
+        """
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        topology = self._topology
+        if topology is None:
+            # Without a topology every copy (self included) is WAN-priced.
+            value = self._overhead + size_bytes / self._wan
+            return [value] * len(receivers)
+        name = topology.datacenter(sender).name
+        key = (name, size_bytes)
+        entry = self._row_template_cache.get(key)
+        if entry is not None and (entry[0] is receivers or entry[0] == receivers):
+            return entry[1]
+        wan_value = self._overhead + size_bytes / self._wan
+        lan_value = self._overhead + size_bytes / self._lan
+        local_ids = set(topology.replicas_in(name))
+        row = [lan_value if receiver in local_ids else wan_value
+               for receiver in receivers]
+        self._row_template_cache[key] = (tuple(receivers), row)
+        return row
 
     def expected_transfer_time(self, size_bytes: int) -> float:
         """Return the WAN transfer time (used for timeout derivation)."""

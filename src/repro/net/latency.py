@@ -18,7 +18,13 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from itertools import repeat as _repeat
 from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # Optional accelerator: the scalar rows below are the reference.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is an optional speedup
+    _np = None
 
 from repro.net.topology import Topology, region_rtt_ms
 
@@ -293,7 +299,9 @@ class _TopologyLatency(LatencyModel):
         self._jitter = jitter
         self.jitter_free = jitter <= 0
         self._rows: Dict[int, List[float]] = {}
+        self._row_arrays: Dict[int, object] = {}
         self._pair_cache: Dict[Tuple[str, str], float] = {}
+        self._name_templates: Dict[str, List[float]] = {}
         self._full_ids: Optional[Tuple[int, ...]] = None
 
     @property
@@ -312,31 +320,35 @@ class _TopologyLatency(LatencyModel):
         row = self._rows.get(sender)
         if row is None:
             # Both shipped subclasses price a pair purely from the two
-            # endpoints' datacenters, so cross-datacenter nominals are
-            # computed once per (datacenter, datacenter) pair and reused —
-            # warming all n rows costs O(n^2 + D^2) dict hits instead of
-            # O(n^2) model evaluations.
-            local = self._local_delay()
+            # endpoints' datacenters, so every sender in one datacenter
+            # shares the same row except its own self entry: rows are
+            # copied from a per-datacenter template (built once, O(n + D)
+            # via the datacenter membership lists) with the self entry
+            # patched — warming all n rows costs O(n·D) template work plus
+            # n list copies instead of O(n^2) per-pair lookups.
             topology = self._topology
-            datacenter = topology.datacenter
-            pair_cache = self._pair_cache
-            sender_name = datacenter(sender).name
-            row = []
-            append = row.append
-            for receiver in range(topology.n):
-                if receiver == sender:
-                    append(local / 2)
-                    continue
-                receiver_name = datacenter(receiver).name
-                if receiver_name == sender_name:
-                    append(local)
-                    continue
-                key = (sender_name, receiver_name)
-                value = pair_cache.get(key)
-                if value is None:
-                    value = self._pair_nominal(sender, receiver)
-                    pair_cache[key] = value
-                append(value)
+            sender_name = topology.datacenter(sender).name
+            template = self._name_templates.get(sender_name)
+            if template is None:
+                local = self._local_delay()
+                pair_cache = self._pair_cache
+                template = [0.0] * topology.n
+                for datacenter in topology.datacenters():
+                    receiver_name = datacenter.name
+                    if receiver_name == sender_name:
+                        value = local
+                    else:
+                        key = (sender_name, receiver_name)
+                        value = pair_cache.get(key)
+                        if value is None:
+                            representative = topology.replicas_in(receiver_name)[0]
+                            value = self._pair_nominal(sender, representative)
+                            pair_cache[key] = value
+                    for receiver in topology.replicas_in(receiver_name):
+                        template[receiver] = value
+                self._name_templates[sender_name] = template
+            row = template.copy()
+            row[sender] = self._local_delay() / 2
             self._rows[sender] = row
         return row
 
@@ -358,6 +370,53 @@ class _TopologyLatency(LatencyModel):
             elif receivers == full:
                 return row
         return [row[receiver] for receiver in receivers]
+
+    def nominal_row_array(self, sender: int, receivers: Sequence[int]):
+        """The sender's dense row as a cached numpy float64 array, or ``None``.
+
+        Only served for the full ascending replica-id set (the broadcast
+        shape) — ``None`` for subsets, custom orders, or when numpy is
+        unavailable.  ``asarray`` on a float list preserves bits, so the
+        array is element-for-element identical to :meth:`nominal_row`.
+        Callers must treat it as immutable — it is shared across calls.
+        """
+        if _np is None:
+            return None
+        arr = self._row_arrays.get(sender)
+        if arr is not None:
+            full = self._full_ids
+            if receivers is full or receivers == full:
+                return arr
+            return None
+        row = self._sender_row(sender)
+        # nominal_row returns the shared dense row itself exactly when
+        # ``receivers`` is the full id set — reuse its detection.
+        if self.nominal_row(sender, receivers) is not row:
+            return None
+        arr = _np.asarray(row, dtype=_np.float64)
+        self._row_arrays[sender] = arr
+        return arr
+
+    def delay_row_array(self, sender: int, receivers: Sequence[int],
+                        rng: random.Random):
+        """Vectorized :meth:`delay_row`, or ``None`` (rng then untouched).
+
+        The jitter draws are made one scalar ``rng.random()`` at a time in
+        receiver order — the Mersenne stream cannot be vectorized without
+        changing the draws — but the affine jitter application is one
+        elementwise pass: ``row * (1.0 + jitter * draws)`` runs the exact
+        IEEE operations of the scalar ``value * (1.0 + jitter * rand())``,
+        so the result is bit-identical to :meth:`delay_row`.
+        """
+        arr = self.nominal_row_array(sender, receivers)
+        if arr is None:
+            return None
+        jitter = self._jitter
+        if jitter <= 0:
+            return arr
+        rand = rng.random
+        draws = _np.asarray([rand() for _ in _repeat(None, len(arr))])
+        return arr * (1.0 + jitter * draws)
 
     def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
         """Return the nominal delay with multiplicative jitter."""

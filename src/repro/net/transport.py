@@ -37,6 +37,11 @@ import random
 from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Sequence, Tuple
 
+try:  # Optional accelerator: the scalar paths below are the reference.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is an optional speedup
+    _np = None
+
 from repro.net.bandwidth import BandwidthModel
 from repro.net.faults import FaultPlan
 from repro.net.latency import LatencyModel
@@ -122,6 +127,7 @@ class Transport(ABC):
         self._latency_jitter_free = bool(getattr(latency, "jitter_free", False))
         self._cacheable_bandwidth = type(bandwidth) is BandwidthModel
         self._transfer_row_cache: Dict[Tuple[int, int], Tuple[Tuple[int, ...], List[float]]] = {}
+        self._transfer_array_cache: Dict[Tuple[int, int], tuple] = {}
 
     def _transfer_row(self, sender: int, receivers: Sequence[int],
                       size: int) -> List[float]:
@@ -137,8 +143,9 @@ class Transport(ABC):
         entry = self._transfer_row_cache.get(key)
         if entry is not None and (entry[0] is receivers or entry[0] == receivers):
             return entry[1]
-        transfer_time = self.bandwidth.transfer_time
-        row = [transfer_time(sender, receiver, size) for receiver in receivers]
+        # Only reached for the stock bandwidth model (the row-path gate),
+        # whose transfer_row shares one template per sender datacenter.
+        row = self.bandwidth.transfer_row(sender, receivers, size)
         self._transfer_row_cache[key] = (tuple(receivers), row)
         return row
 
@@ -186,6 +193,20 @@ class Transport(ABC):
         active, custom models); callers fall back to
         :meth:`broadcast_times`.  Overrides must consume ``rng`` exactly as
         :meth:`broadcast` would.
+        """
+        return None
+
+    def broadcast_arrival_array(self, sender: int, receivers: Sequence[int],
+                                message: Message, now: float,
+                                rng: random.Random):
+        """:meth:`broadcast_arrival_row` as a numpy float64 array, or ``None``.
+
+        Same aligned no-drop contract and the same arithmetic bit-for-bit
+        (numpy elementwise float64 add/multiply are IEEE-exactly-rounded,
+        identical to the scalar ops), but built with whole-row vector ops.
+        ``None`` whenever numpy is unavailable or the configuration cannot
+        take the row path; implementations must decide *before* consuming
+        any rng draws so the fallback sees an untouched stream.
         """
         return None
 
@@ -346,6 +367,49 @@ class DirectTransport(Transport):
             propagation_row = self.latency.delay_row(sender, receivers, rng)
         return [now + transfer + propagation
                 for transfer, propagation in zip(transfer_row, propagation_row)]
+
+    def broadcast_arrival_array(self, sender: int, receivers: Sequence[int],
+                                message: Message, now: float,
+                                rng: random.Random):
+        """Vectorized :meth:`broadcast_arrival_row`.
+
+        ``(now + transfer) + propagation`` evaluated as two elementwise
+        float64 adds, preserving the scalar path's left-to-right rounding.
+        The jitter draws (inside ``delay_row_array``) are made one scalar
+        ``rng.random()`` at a time in receiver order, so the stream matches
+        the scalar path exactly.  All gates — including the latency model's
+        — are checked before any draw, so returning ``None`` leaves the rng
+        untouched for the row fallback.
+        """
+        if (_np is None or not self._trivial_faults
+                or not self._cacheable_bandwidth):
+            return None
+        latency = self.latency
+        if self._latency_jitter_free:
+            nominal_row_array = getattr(latency, "nominal_row_array", None)
+            if nominal_row_array is None:
+                return None
+            propagation_arr = nominal_row_array(sender, receivers)
+        else:
+            delay_row_array = getattr(latency, "delay_row_array", None)
+            if delay_row_array is None:
+                return None
+            propagation_arr = delay_row_array(sender, receivers, rng)
+        if propagation_arr is None:
+            return None
+        size = getattr(message, "wire_size", 0)
+        return (now + self._transfer_array(sender, receivers, size)) + propagation_arr
+
+    def _transfer_array(self, sender: int, receivers: Sequence[int], size: int):
+        """:meth:`_transfer_row` as a cached numpy array (same validation)."""
+        key = (sender, size)
+        entry = self._transfer_array_cache.get(key)
+        if entry is not None and (entry[0] is receivers or entry[0] == receivers):
+            return entry[1]
+        arr = _np.asarray(self._transfer_row(sender, receivers, size),
+                          dtype=_np.float64)
+        self._transfer_array_cache[key] = (tuple(receivers), arr)
+        return arr
 
     def _broadcast_times_scalar(self, sender: int, receivers: Sequence[int],
                                 size: int, now: float,

@@ -165,6 +165,85 @@ class ICCReplica(Protocol):
         elif isinstance(message, CertificateMessage):
             self._handle_certificate(ctx, message)
 
+    def on_messages(self, ctx: ReplicaContext, batch) -> None:
+        """Batched delivery: tally same-target vote waves in one pass.
+
+        A fused sweep is dominated by runs of single-vote ``VoteMessage``
+        broadcasts from different senders supporting the same block (a
+        vote wave).  Each run is tallied through one
+        :meth:`repro.smr.quorum.QuorumTracker.add_votes` pass instead of
+        per-vote handler calls; anything else in the batch (proposals,
+        certificates, multi-vote or fast-vote messages) takes the exact
+        scalar path in order.  Byte-identity with per-message delivery
+        holds because the scalar per-vote re-evaluations are guarded
+        no-ops except at a threshold crossing, and the batched pass stops
+        at the crossing to run the same re-evaluation there (see
+        :meth:`_tally_vote_run`).
+        """
+        n = len(batch)
+        i = 0
+        while i < n:
+            sender, message = batch[i]
+            if not isinstance(message, VoteMessage):
+                self.on_message(ctx, sender, message)
+                i += 1
+                continue
+            votes = message.votes
+            if len(votes) == 1:
+                vote = votes[0]
+                kind = vote.kind
+                if kind is VoteKind.NOTARIZATION or kind is VoteKind.FINALIZATION:
+                    round_k = vote.round
+                    block_id = vote.block_id
+                    voters = [vote.voter]
+                    j = i + 1
+                    while j < n:
+                        nxt = batch[j][1]
+                        if not isinstance(nxt, VoteMessage) or len(nxt.votes) != 1:
+                            break
+                        nxt = nxt.votes[0]
+                        if (nxt.kind is not kind or nxt.round != round_k
+                                or nxt.block_id != block_id):
+                            break
+                        voters.append(nxt.voter)
+                        j += 1
+                    self._tally_vote_run(ctx, kind, round_k, block_id, voters)
+                    i = j
+                    continue
+            for vote in votes:
+                self._handle_vote(ctx, vote)
+            i += 1
+
+    def _tally_vote_run(self, ctx: ReplicaContext, kind: "VoteKind",
+                        round_k: int, block_id: BlockId,
+                        voters: List[int]) -> None:
+        """Tally a run of same-``(kind, round, block)`` votes at once.
+
+        Byte-identical to per-vote :meth:`_handle_vote` calls: the
+        per-vote re-evaluation (``_try_notarizations`` /
+        ``_try_slow_finalization``) only does observable work when this
+        vote crossed the quorum threshold — otherwise it exits on its
+        fired-count / ``reached`` guards, and any rescan it does rewrites
+        identical state (the tree cannot change mid-run).  So the run is
+        tallied in one tracker pass that stops exactly at the crossing,
+        the re-evaluation fires there (same sends/commits at the same
+        vote as scalar delivery), and the remainder — which can never
+        cross again — is tallied without further calls.
+        """
+        if kind is VoteKind.NOTARIZATION:
+            tracker = self._notarization_tracker(round_k)
+        else:
+            tracker = self._finalization_tracker(round_k)
+        before = tracker.fired_count()
+        consumed = tracker.add_votes(block_id, voters)
+        if tracker.fired_count() != before:
+            if kind is VoteKind.NOTARIZATION:
+                self._try_notarizations(ctx, round_k)
+            else:
+                self._try_slow_finalization(ctx, round_k, block_id)
+            if consumed < len(voters):
+                tracker.add_votes(block_id, voters[consumed:])
+
     def on_timer(self, ctx: ReplicaContext, timer: Timer) -> None:
         """Handle proposal and notarization-delay timers."""
         if timer.name == "propose":

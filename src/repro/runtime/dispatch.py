@@ -1,0 +1,525 @@
+"""Specialized event-loop variants and batched handler dispatch.
+
+The simulator's ``run()`` used to be one loop carrying every feature's
+per-event branch — compute charging, crash checks, listener hooks — so the
+common zero-compute/no-fault path paid for all of them on every event.
+This module generates **monomorphic loop variants** from a single template
+instead: each variant is compiled (once, cached process-wide) with exactly
+the branches its feature set needs, so the hot path carries no dead code
+and the variants cannot drift apart the way hand-maintained copies would.
+
+Features (the variant key):
+
+* ``compute`` — a non-trivial :class:`repro.runtime.compute.ComputeModel`
+  is active: members carry the busy-core deferral and charge path.
+* ``crash`` — the fault plan has crash windows: deliveries and timers are
+  gated on ``is_crashed``.
+* ``sweep`` — batched dispatch is enabled (the default): consecutive
+  same-``(time, target)`` plain deliveries at the heap head are drained
+  into one :meth:`repro.protocols.base.Protocol.on_messages` call, and an
+  ``sbatch`` chain runs ahead member-to-member without a heap round trip
+  while its successor provably precedes the heap head.  Disabled via
+  :attr:`repro.runtime.simulator.Simulation.force_scalar_dispatch` (the
+  scalar fallback used by the equivalence tests and microbench).
+
+Fusion (``on_messages``) is additionally suppressed under ``compute``:
+busy-core deferral interleaves re-queued deliveries between same-instant
+arrivals, so a fused sweep could not be byte-identical there.
+
+Byte-identity contract: every variant must replay the exact event order of
+the reference scalar loop — sweeps only fuse deliveries whose heap order
+is provably contiguous (same time, same target, no interleaved timer /
+external / compute event), an ``sbatch`` run-ahead step is taken only when
+``(next_time, batch_seq)`` sorts strictly before the heap head, and the
+historical horizon edge (a *cancelled* timer at the heap head lets the
+next real event dispatch without re-checking ``until``) is preserved.
+``tests/test_golden_corpus.py`` and ``tests/test_dispatch_batch.py`` pin
+this.
+
+The loop returns the number of budget-consuming events processed.  It
+exits early (after flushing its counters) when
+``Simulation._dispatch_generation`` changes mid-run — feature toggles like
+flipping ``force_scalar_dispatch`` bump the generation, and the ``run()``
+driver re-selects the variant and resumes seamlessly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, Tuple
+
+#: Effectively-unbounded event budget used when ``max_events`` is ``None``
+#: (a single compare against an int is cheaper than a per-event ``None``
+#: check).
+UNBOUNDED = 0x7FFFFFFFFFFFFFFF
+
+#: Event target used for injected external / batch events (not a replica
+#: id); must match ``simulator._EXTERNAL_TARGET``.
+_EXTERNAL_TARGET = -1
+
+
+def build_handler_tables(protocols: Dict[int, Any], contexts: Dict[int, Any]):
+    """Precompute per-target bound-method dispatch tables.
+
+    Returns ``(deliver_one, deliver_many, fire_timer)`` mapping replica id
+    to ``(bound_handler, context)`` pairs, so the loop does one subscript
+    and a tuple unpack per dispatch instead of two dict lookups plus a
+    bound-method allocation.  When the replica ids are exactly ``0..n-1``
+    (the common case) the tables are lists — an index beats a hash probe —
+    and dicts otherwise; the loop subscripts either transparently.
+    Protocols without an ``on_messages`` batch hook (duck-typed test
+    doubles) get a per-message fallback shim.
+    """
+    deliver_one = {}
+    deliver_many = {}
+    fire_timer = {}
+    for replica_id, protocol in protocols.items():
+        context = contexts[replica_id]
+        deliver_one[replica_id] = (protocol.on_message, context)
+        fire_timer[replica_id] = (protocol.on_timer, context)
+        on_messages = getattr(protocol, "on_messages", None)
+        if on_messages is None:
+            on_messages = _fallback_on_messages(protocol.on_message)
+        deliver_many[replica_id] = (on_messages, context)
+    if sorted(protocols) == list(range(len(protocols))):
+        deliver_one = [deliver_one[i] for i in range(len(protocols))]
+        deliver_many = [deliver_many[i] for i in range(len(protocols))]
+        fire_timer = [fire_timer[i] for i in range(len(protocols))]
+    return deliver_one, deliver_many, fire_timer
+
+
+def _fallback_on_messages(on_message: Callable) -> Callable:
+    """Per-message fallback for protocols lacking an ``on_messages`` hook."""
+
+    def deliver(ctx, batch, _on_message=on_message):
+        for sender, message in batch:
+            _on_message(ctx, sender, message)
+
+    return deliver
+
+
+# --------------------------------------------------------------------- #
+# Loop template
+# --------------------------------------------------------------------- #
+#
+# Rendered per feature set by `_render` (an `#if/#else/#endif` line
+# filter) and compiled once.  The template is the single source of truth
+# for event-loop semantics; `Simulation.run()` and `Simulation.step()`
+# both execute these rendered loops.
+
+_LOOP_TEMPLATE = """\
+def _loop(sim, until, budget):
+    queue = sim._queue
+    heappop = _heappop
+    heappush = _heappush
+    heappushpop = _heappushpop
+    pending_timers = sim._pending_timers
+    cancelled_timers = sim._cancelled_timers
+    deliver_one = sim._deliver_one
+#if FUSE
+    deliver_many = sim._deliver_many
+#endif
+    fire_timer = sim._fire_timer
+#if CRASH
+    is_crashed = sim.network.faults.is_crashed
+#endif
+#if COMPUTE
+    compute = sim._compute
+    message_cost = sim._compute_cost
+    busy_until = compute.busy_until
+    record_wait = compute.record_wait
+    record_busy = compute.record_busy
+    seq = sim._seq
+#endif
+    generation = sim._dispatch_generation
+    now = sim.now
+    processed = 0
+    delivered = 0
+    dropped = 0
+#if SWEEP
+    runahead = 0
+#endif
+#if FUSE
+    sweeps = 0
+    swept = 0
+#endif
+    # ``pending`` holds an event already removed from the heap that must
+    # be dispatched without re-running the top-of-loop checks: the event
+    # after a cancelled timer (the preserved horizon edge) and the heap
+    # head an sbatch run-ahead lost to (obtained via one heappushpop
+    # instead of a push + pop).
+    pending = None
+    while True:
+        if pending is not None:
+            event = pending
+            pending = None
+        else:
+#if BUDGET
+            if not queue or processed >= budget:
+                break
+#else
+            if not queue:
+                break
+#endif
+            if queue[0][0] > until:
+                break
+            if sim._dispatch_generation != generation:
+                break
+            event = heappop(queue)
+        time_, seq_, kind, target, payload = event
+        # ``sbatch`` leads the kind chain: under jittered latency (the
+        # scale-out configuration) nearly every event is a chained
+        # broadcast member, so the dominant kind must win the dispatch
+        # after a single compare.
+        if kind == "sbatch":
+            # One in-flight jittered broadcast: ``payload`` is the mutable
+            # ``[times, targets, index, sender, message, count,
+            # (sender, message)]`` state, times ascending (``index`` —
+            # the resume point — must stay at slot 2).  Members are
+            # delivered here without a heap round trip while the
+            # successor provably precedes the heap head (run-ahead);
+            # otherwise the successor is re-pushed under the batch's
+            # ORIGINAL seq so exact-time ties break exactly as the
+            # per-copy pushes would have.
+            times, targets, index, sender, message, count, mpayload = payload
+            while True:
+                if time_ > now:
+                    now = time_
+                    sim.now = now
+#if COMPUTE
+                free_at = busy_until.get(target, 0.0)
+                if free_at > time_:
+                    # Busy core: this member queues on the CPU timeline
+                    # as a plain per-copy delivery (no budget charge).
+                    record_wait(target, free_at - time_)
+                    if sim._compute_listeners:
+                        sim._notify_compute("cpu-wait", target, time_,
+                                            free_at - time_, None)
+                    heappush(queue, (free_at, next(seq), "message", target,
+                                     mpayload))
+#if CRASH
+                elif is_crashed(target, now):
+                    dropped += 1
+                    processed += 1
+#endif
+                else:
+                    handler, ctx = deliver_one[target]
+                    handler(ctx, sender, message)
+                    delivered += 1
+                    processed += 1
+                    cost = message_cost(target, sender, message)
+                    if cost > 0.0:
+                        record_busy(target, now, cost)
+                        if sim._compute_listeners:
+                            sim._notify_compute("cpu-busy", target, now,
+                                                cost, message)
+#else
+#if CRASH
+                if is_crashed(target, now):
+                    dropped += 1
+                else:
+                    handler, ctx = deliver_one[target]
+                    handler(ctx, sender, message)
+                    delivered += 1
+                processed += 1
+#else
+                handler, ctx = deliver_one[target]
+                handler(ctx, sender, message)
+                delivered += 1
+                processed += 1
+#endif
+#endif
+                index += 1
+                if index == count:
+                    break
+                time_ = times[index]
+                target = targets[index]
+#if SWEEP
+#if BUDGET
+                if processed >= budget or time_ > until:
+                    payload[2] = index
+                    heappush(queue, (time_, seq_, "sbatch", target, payload))
+                    break
+#else
+                if time_ > until:
+                    payload[2] = index
+                    heappush(queue, (time_, seq_, "sbatch", target, payload))
+                    break
+#endif
+                # Run-ahead decision and heap exchange in one C call:
+                # heappushpop first compares heap[0] < item — tuple order
+                # on (time, seq), never reaching the payload — and returns
+                # the item itself without sifting when it wins.  Getting
+                # the successor back means no queued event precedes it
+                # (exactly the old explicit head check), so this member is
+                # delivered without any heap traffic; otherwise the
+                # successor just replaced the head in a single sift.
+                successor = (time_, seq_, "sbatch", target, payload)
+                event = heappushpop(queue, successor)
+                if event is successor:
+                    runahead += 1
+                    continue
+                # The successor is now heap-resident: record its resume
+                # index before anything else can pop it.
+                payload[2] = index
+                pending = event
+                break
+#else
+                payload[2] = index
+                heappush(queue, (time_, seq_, "sbatch", target, payload))
+                break
+#endif
+        elif kind == "message":
+            if time_ > now:
+                now = time_
+                sim.now = now
+#if COMPUTE
+            free_at = busy_until.get(target, 0.0)
+            if free_at > time_:
+                # Busy core: the delivery queues on the replica's CPU
+                # timeline and is retried once it frees up (no budget
+                # charge; the horizon is re-checked on re-entry).
+                record_wait(target, free_at - time_)
+                if sim._compute_listeners:
+                    sim._notify_compute("cpu-wait", target, time_,
+                                        free_at - time_, None)
+                heappush(queue, (free_at, next(seq), "message", target,
+                                 payload))
+                continue
+#endif
+#if CRASH
+            if is_crashed(target, now):
+                dropped += 1
+                processed += 1
+                continue
+#endif
+            sender, message = payload
+#if FUSE
+            if queue:
+                head = queue[0]
+                if (head[0] == time_ and head[3] == target
+                        and head[2] == "message"):
+                    # Same-target sweep: drain the contiguous run of
+                    # plain deliveries at this exact (time, target) into
+                    # one on_messages call.  Contiguity is re-checked per
+                    # pop, so an interleaved timer/external/batch event
+                    # ends the sweep; the budget caps its length.
+#if BUDGET
+                    cap = budget - processed
+                    if cap > 1:
+                        batch = [payload]
+                        append = batch.append
+                        while True:
+                            append(heappop(queue)[4])
+                            if len(batch) >= cap or not queue:
+                                break
+                            head = queue[0]
+                            if (head[0] != time_ or head[3] != target
+                                    or head[2] != "message"):
+                                break
+                        handler, ctx = deliver_many[target]
+                        handler(ctx, batch)
+                        count = len(batch)
+                        delivered += count
+                        processed += count
+                        sweeps += 1
+                        swept += count
+                        continue
+#else
+                    batch = [payload]
+                    append = batch.append
+                    while True:
+                        append(heappop(queue)[4])
+                        if not queue:
+                            break
+                        head = queue[0]
+                        if (head[0] != time_ or head[3] != target
+                                or head[2] != "message"):
+                            break
+                    handler, ctx = deliver_many[target]
+                    handler(ctx, batch)
+                    count = len(batch)
+                    delivered += count
+                    processed += count
+                    sweeps += 1
+                    swept += count
+                    continue
+#endif
+#endif
+            handler, ctx = deliver_one[target]
+            handler(ctx, sender, message)
+            delivered += 1
+            processed += 1
+#if COMPUTE
+            cost = message_cost(target, sender, message)
+            if cost > 0.0:
+                record_busy(target, now, cost)
+                if sim._compute_listeners:
+                    sim._notify_compute("cpu-busy", target, now, cost,
+                                        message)
+#endif
+        elif kind == "mbatch":
+            # A same-instant broadcast group: every member is a delivery
+            # at exactly ``time_``, processed back-to-back the way
+            # consecutive per-copy pops would have been (nothing pushed
+            # during processing can sort before a remaining member).
+            # Each member counts against the budget; an exhausted budget
+            # re-queues the tail under the batch's original heap key.
+            targets, mpayload = payload
+            sender, message = mpayload
+            if time_ > now:
+                now = time_
+                sim.now = now
+            mcount = len(targets)
+            mindex = 0
+            while mindex < mcount:
+#if BUDGET
+                if processed >= budget:
+                    heappush(queue, (time_, seq_, "mbatch", _EXTERNAL_TARGET,
+                                     (targets[mindex:], mpayload)))
+                    break
+#endif
+                target = targets[mindex]
+                mindex += 1
+#if COMPUTE
+                free_at = busy_until.get(target, 0.0)
+                if free_at > time_:
+                    # Busy core: defer this member; the rest of the group
+                    # is unaffected (no budget charge).
+                    record_wait(target, free_at - time_)
+                    if sim._compute_listeners:
+                        sim._notify_compute("cpu-wait", target, time_,
+                                            free_at - time_, None)
+                    heappush(queue, (free_at, next(seq), "message", target,
+                                     mpayload))
+                    continue
+#endif
+#if CRASH
+                if is_crashed(target, now):
+                    dropped += 1
+                    processed += 1
+                    continue
+#endif
+                handler, ctx = deliver_one[target]
+                handler(ctx, sender, message)
+                delivered += 1
+                processed += 1
+#if COMPUTE
+                cost = message_cost(target, sender, message)
+                if cost > 0.0:
+                    record_busy(target, now, cost)
+                    if sim._compute_listeners:
+                        sim._notify_compute("cpu-busy", target, now, cost,
+                                            message)
+#endif
+        elif kind == "timer":
+            timer_id = payload.timer_id
+            pending_timers.discard(timer_id)
+            if timer_id in cancelled_timers:
+                cancelled_timers.discard(timer_id)
+                # Preserved horizon edge: the event after a cancelled
+                # timer is dispatched without re-checking ``until`` (or
+                # the budget — the cancelled timer consumed none of it).
+                if queue:
+                    pending = heappop(queue)
+                continue
+            if time_ > now:
+                now = time_
+                sim.now = now
+#if CRASH
+            if is_crashed(target, now):
+                processed += 1
+                continue
+#endif
+            handler, ctx = fire_timer[target]
+            handler(ctx, payload)
+            processed += 1
+        elif kind == "external":
+            if time_ > now:
+                now = time_
+                sim.now = now
+            # External callbacks (workload probes, chaos hooks) may read
+            # the simulation's counters: flush the local tallies first.
+            sim._messages_delivered += delivered
+            sim._messages_dropped += dropped
+            delivered = 0
+            dropped = 0
+            payload()
+            processed += 1
+        else:
+            raise RuntimeError("unknown event kind %r" % (kind,))
+    if pending is not None:
+        heappush(queue, pending)
+    sim._messages_delivered += delivered
+    sim._messages_dropped += dropped
+#if SWEEP
+    stats = sim._dispatch_counts
+    stats["runahead_members"] += runahead
+#if FUSE
+    stats["sweeps"] += sweeps
+    stats["swept_messages"] += swept
+#endif
+#endif
+    return processed
+"""
+
+
+def _render(template: str, features: Dict[str, bool]) -> str:
+    """Render ``#if NAME`` / ``#else`` / ``#endif`` blocks (nested)."""
+    lines = []
+    stack = []  # (parent_emitting, this_branch_value)
+    emitting = True
+    for line in template.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("#if "):
+            condition = stripped[4:].strip()
+            negate = condition.startswith("not ")
+            name = condition[4:].strip() if negate else condition
+            value = features[name] != negate
+            stack.append((emitting, value))
+            emitting = emitting and value
+        elif stripped == "#else":
+            parent, value = stack[-1]
+            emitting = parent and not value
+        elif stripped == "#endif":
+            parent, _ = stack.pop()
+            emitting = parent
+        elif emitting:
+            lines.append(line)
+    if stack:
+        raise ValueError("unbalanced #if in loop template")
+    return "\n".join(lines) + "\n"
+
+
+_VARIANTS: Dict[Tuple[bool, bool, bool, bool], Callable] = {}
+
+
+def select_loop(compute: bool, crash: bool, sweep: bool,
+                budget: bool = True) -> Callable:
+    """The compiled loop variant for one feature set (cached process-wide)."""
+    key = (compute, crash, sweep, budget)
+    loop = _VARIANTS.get(key)
+    if loop is None:
+        features = {
+            "COMPUTE": compute,
+            "CRASH": crash,
+            "SWEEP": sweep,
+            # Fusing same-target deliveries under a busy-core model would
+            # reorder against deferral re-queues; compute runs stay scalar
+            # per member (they still get run-ahead and the tables).
+            "FUSE": sweep and not compute,
+            # Unbounded `run(until)` calls compile out every per-event
+            # budget compare; `step()` and bounded runs keep them.
+            "BUDGET": budget,
+        }
+        source = _render(_LOOP_TEMPLATE, features)
+        namespace = {
+            "_heappop": heapq.heappop,
+            "_heappush": heapq.heappush,
+            "_heappushpop": heapq.heappushpop,
+            "_EXTERNAL_TARGET": _EXTERNAL_TARGET,
+        }
+        code = compile(source, f"<dispatch-loop {key}>", "exec")
+        exec(code, namespace)
+        loop = _VARIANTS[key] = namespace["_loop"]
+    return loop

@@ -64,6 +64,7 @@ from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.transport import Delivery, Transport, build_transport
 from repro.runtime.compute import ComputeModel, build_compute
 from repro.runtime.context import ReplicaContext, Timer
+from repro.runtime.dispatch import UNBOUNDED, build_handler_tables, select_loop
 from repro.types.blocks import Block
 from repro.types.messages import Message
 
@@ -229,6 +230,27 @@ class Simulation:
         self._contexts: Dict[int, _SimContext] = {
             replica_id: _SimContext(self, replica_id) for replica_id in self.replica_ids
         }
+        # Per-target bound-method dispatch tables: the event loop does one
+        # dict lookup + tuple unpack per dispatch instead of two dict
+        # lookups and a bound-method allocation.
+        self._deliver_one, self._deliver_many, self._fire_timer = (
+            build_handler_tables(self._protocols, self._contexts)
+        )
+        # Event-loop variant selection state: the generation is bumped by
+        # any feature toggle that can affect loop behavior mid-run; the
+        # active loop notices and returns so ``run()`` re-selects.
+        self._dispatch_generation = 0
+        self._force_scalar_dispatch = False
+        self._dispatch_counts: Dict[str, int] = {
+            "sweeps": 0,
+            "swept_messages": 0,
+            "runahead_members": 0,
+        }
+        # True when replica ids are exactly ``0..n-1``: lets the sbatch
+        # scheduler use argsort indices as receiver ids directly.
+        self._ids_are_range = (
+            self._replica_id_tuple == tuple(range(len(self._replica_id_tuple)))
+        )
         self._commits: Dict[int, List[CommitRecord]] = {r: [] for r in self.replica_ids}
         self._commit_listeners: List[Callable[[CommitRecord], None]] = []
         self._delivery_listeners: List[DeliveryListener] = []
@@ -323,6 +345,7 @@ class Simulation:
         overhead to default (zero-compute) runs.
         """
         self._compute_listeners.append(listener)
+        self._dispatch_generation += 1
 
     def protocol(self, replica_id: int) -> Any:
         """Return the protocol instance of ``replica_id``."""
@@ -350,6 +373,37 @@ class Simulation:
         overhead; attach them only when tracing.
         """
         self._delivery_listeners.append(listener)
+        self._dispatch_generation += 1
+
+    @property
+    def force_scalar_dispatch(self) -> bool:
+        """When ``True`` the event loop never fuses same-target sweeps.
+
+        The scalar fallback dispatches every delivery through
+        ``on_message`` one at a time (and re-pushes every sbatch successor
+        through the heap) — the reference semantics that batched dispatch
+        must reproduce byte-for-byte.  Flipping it mid-run takes effect at
+        the next event (the loop re-selects its variant).  Used by the
+        sweep↔scalar equivalence tests and the dispatch microbench.
+        """
+        return self._force_scalar_dispatch
+
+    @force_scalar_dispatch.setter
+    def force_scalar_dispatch(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._force_scalar_dispatch:
+            self._force_scalar_dispatch = value
+            self._dispatch_generation += 1
+
+    def dispatch_counts(self) -> Dict[str, int]:
+        """Batched-dispatch loop statistics.
+
+        ``sweeps`` / ``swept_messages`` count fused ``on_messages`` calls
+        and the deliveries they carried; ``runahead_members`` counts sbatch
+        members delivered without a heap round trip.  All zero under
+        :attr:`force_scalar_dispatch`.
+        """
+        return dict(self._dispatch_counts)
 
     @property
     def external_events_scheduled(self) -> int:
@@ -435,64 +489,42 @@ class Simulation:
         heapq.heappush(self._queue, (at_time, next(self._seq), "external",
                                      _EXTERNAL_TARGET, boot))
 
-    def step(self) -> bool:
-        """Process the next event; return ``False`` if the queue is empty.
+    def _run_dispatch(self, until: float, max_events: Optional[int]) -> int:
+        """Shared event-loop driver behind :meth:`run` and :meth:`step`.
 
-        This single-step path and the inlined loop in :meth:`run` implement
-        the same pop/skip/dispatch semantics and must stay in sync — the
-        golden equivalence tests in ``tests/test_transport.py`` pin both.
+        Selects the monomorphic loop variant matching the active feature
+        set (compute model, crash faults, sweep enablement — see
+        :mod:`repro.runtime.dispatch`), runs it, and re-selects whenever a
+        feature toggle bumps the dispatch generation mid-run.  Returns the
+        number of budget-consuming events processed.
         """
         if not self._started:
             self.start()
-        queue = self._queue
-        while queue:
-            time_, _seq, kind, target, payload = heapq.heappop(queue)
-            if kind == "mbatch":
-                # Unfold the same-instant broadcast group one member per
-                # step: the head member becomes a plain delivery and the
-                # tail goes back under the batch's original heap key, so
-                # stepping is observably identical to the batched run loop.
-                targets, payload = payload
-                if len(targets) > 1:
-                    heapq.heappush(queue, (time_, _seq, "mbatch",
-                                           _EXTERNAL_TARGET,
-                                           (targets[1:], payload)))
-                kind = "message"
-                target = targets[0]
-            elif kind == "sbatch":
-                # Unfold the chained jittered broadcast the same way run()
-                # does: re-push the successor member under the batch's
-                # original seq, then process this member as a plain delivery.
-                schedule, index, payload = payload
-                index += 1
-                if index < len(schedule):
-                    next_time, next_receiver = schedule[index]
-                    heapq.heappush(queue, (next_time, _seq, "sbatch",
-                                           next_receiver,
-                                           [schedule, index, payload]))
-                kind = "message"
-            if kind == "timer":
-                timer_id = payload.timer_id
-                self._pending_timers.discard(timer_id)
-                if timer_id in self._cancelled_timers:
-                    self._cancelled_timers.discard(timer_id)
-                    continue
-            if time_ > self.now:
-                self.now = time_
-            if kind == "message" and self._compute_cost is not None:
-                free_at = self._compute.busy_until.get(target, 0.0)
-                if free_at > time_:
-                    # Busy core: defer the delivery to the replica's free time.
-                    self._compute.record_wait(target, free_at - time_)
-                    if self._compute_listeners:
-                        self._notify_compute("cpu-wait", target, time_,
-                                             free_at - time_, None)
-                    heapq.heappush(queue, (free_at, next(self._seq), "message",
-                                           target, payload))
-                    continue
-            self._dispatch(kind, target, payload)
-            return True
-        return False
+        budget = UNBOUNDED if max_events is None else max_events
+        total = 0
+        while True:
+            generation = self._dispatch_generation
+            loop = select_loop(
+                self._compute_cost is not None,
+                bool(self.network.faults.crash_schedule.crash_times),
+                not self._force_scalar_dispatch,
+                max_events is not None,
+            )
+            total += loop(self, until, budget - total)
+            if self._dispatch_generation == generation or total >= budget:
+                return total
+
+    def step(self) -> bool:
+        """Process the next event; return ``False`` if the queue is empty.
+
+        Single-stepping runs the same compiled loop as :meth:`run` with an
+        event budget of one, so it cannot drift from the batched path:
+        mbatch/sbatch events are unfolded one member per step (the tail or
+        successor goes back under the batch's original heap key), and
+        cancelled timers / compute deferrals are skipped without consuming
+        the budget — observably identical to one iteration of ``run()``.
+        """
+        return self._run_dispatch(math.inf, 1) > 0
 
     def run(self, until: float, max_events: Optional[int] = None) -> None:
         """Run the simulation until simulated time ``until`` (or event budget).
@@ -504,185 +536,14 @@ class Simulation:
         re-checking ``until`` — preserved from the original ``step()``-based
         loop so that seeded executions stay byte-for-byte reproducible.)
 
-        This is the hot loop: the heap is touched once per event, the
-        per-event bookkeeping is inlined, and the invariant lookups
-        (protocol table, contexts, fault plan) are hoisted out of the loop.
+        The hot loop itself lives in :mod:`repro.runtime.dispatch`: a
+        monomorphic variant is selected at entry for the active feature
+        set, per-target handler tables kill repeated dict/attr lookups,
+        and (unless :attr:`force_scalar_dispatch` is set) consecutive
+        same-``(time, target)`` deliveries are fused into single
+        :meth:`repro.protocols.base.Protocol.on_messages` sweeps.
         """
-        if not self._started:
-            self.start()
-        queue = self._queue
-        heappop = heapq.heappop
-        heappush = heapq.heappush
-        pending_timers = self._pending_timers
-        cancelled_timers = self._cancelled_timers
-        protocols = self._protocols
-        contexts = self._contexts
-        faults = self.network.faults
-        # A fault plan without crash entries can never report a crashed
-        # replica, so the per-event check is dropped entirely.
-        is_crashed = faults.is_crashed if faults.crash_schedule.crash_times else None
-        # Under the trivial (zero) compute model the whole compute path is
-        # skipped; the hot loop pays one ``is not None`` check per message.
-        compute = self._compute
-        message_cost = self._compute_cost
-        busy_until = compute.busy_until if message_cost is not None else None
-        seq = self._seq
-        processed = 0
-        while queue:
-            if max_events is not None and processed >= max_events:
-                break
-            if queue[0][0] > until:
-                break
-            # Pop until one dispatchable event is processed (cancelled
-            # timers and compute-deferred deliveries are skipped without
-            # counting against ``max_events``).
-            # Keep the pop/skip/dispatch semantics in sync with step().
-            while queue:
-                time_, _seq, kind, target, payload = heappop(queue)
-                if kind == "timer":
-                    timer_id = payload.timer_id
-                    pending_timers.discard(timer_id)
-                    if timer_id in cancelled_timers:
-                        cancelled_timers.discard(timer_id)
-                        continue
-                if time_ > self.now:
-                    self.now = time_
-                if kind == "message":
-                    if message_cost is not None:
-                        free_at = busy_until.get(target, 0.0)
-                        if free_at > time_:
-                            # Busy core: the delivery queues on the replica's
-                            # CPU timeline and is retried once it frees up.
-                            # Unlike the cancelled-timer skip, this re-enters
-                            # the outer loop so the ``until`` horizon is
-                            # re-checked — a deferred delivery must not drag
-                            # later events past the measurement window.
-                            compute.record_wait(target, free_at - time_)
-                            if self._compute_listeners:
-                                self._notify_compute("cpu-wait", target, time_,
-                                                     free_at - time_, None)
-                            heappush(queue, (free_at, next(seq), "message",
-                                             target, payload))
-                            break
-                    if is_crashed is not None and is_crashed(target, self.now):
-                        self._messages_dropped += 1
-                    else:
-                        sender, message = payload
-                        self._messages_delivered += 1
-                        protocols[target].on_message(contexts[target], sender, message)
-                        if message_cost is not None:
-                            cost = message_cost(target, sender, message)
-                            if cost > 0.0:
-                                compute.record_busy(target, self.now, cost)
-                                if self._compute_listeners:
-                                    self._notify_compute("cpu-busy", target,
-                                                         self.now, cost, message)
-                elif kind == "sbatch":
-                    # One in-flight jittered broadcast, delivered one member
-                    # per pop.  ``payload`` is the mutable
-                    # ``[schedule, index, (sender, message)]`` state; the
-                    # successor member is re-pushed first, under the batch's
-                    # original seq, so exact-time ties against surrounding
-                    # events break exactly as the per-copy pushes would have
-                    # (see _broadcast_message).
-                    schedule, index, mpayload = payload
-                    index += 1
-                    if index < len(schedule):
-                        payload[1] = index
-                        next_time, next_receiver = schedule[index]
-                        heappush(queue, (next_time, _seq, "sbatch",
-                                         next_receiver, payload))
-                    if message_cost is not None:
-                        free_at = busy_until.get(target, 0.0)
-                        if free_at > time_:
-                            # Busy core: this member queues on the CPU
-                            # timeline as a plain per-copy delivery, exactly
-                            # like the "message" branch above; the deferral
-                            # re-enters the outer loop without counting
-                            # against the event budget.
-                            compute.record_wait(target, free_at - time_)
-                            if self._compute_listeners:
-                                self._notify_compute("cpu-wait", target, time_,
-                                                     free_at - time_, None)
-                            heappush(queue, (free_at, next(seq), "message",
-                                             target, mpayload))
-                            break
-                    if is_crashed is not None and is_crashed(target, self.now):
-                        self._messages_dropped += 1
-                    else:
-                        sender, message = mpayload
-                        self._messages_delivered += 1
-                        protocols[target].on_message(contexts[target], sender,
-                                                     message)
-                        if message_cost is not None:
-                            cost = message_cost(target, sender, message)
-                            if cost > 0.0:
-                                compute.record_busy(target, self.now, cost)
-                                if self._compute_listeners:
-                                    self._notify_compute("cpu-busy", target,
-                                                         self.now, cost,
-                                                         message)
-                elif kind == "mbatch":
-                    # A same-instant broadcast group: every member is a
-                    # delivery at exactly ``time_``, processed back-to-back
-                    # the way consecutive per-copy pops would have been (no
-                    # event scheduled during processing can sort before a
-                    # remaining member: pushes get later seqs and times
-                    # ``>= now``).  Each member counts against the event
-                    # budget; an exhausted budget re-queues the tail under
-                    # the batch's original heap key, preserving its place.
-                    targets, mpayload = payload
-                    sender, message = mpayload
-                    remaining = None
-                    for index, target in enumerate(targets):
-                        if max_events is not None and processed >= max_events:
-                            remaining = targets[index:]
-                            break
-                        if message_cost is not None:
-                            free_at = busy_until.get(target, 0.0)
-                            if free_at > time_:
-                                # Busy core: this member queues on the CPU
-                                # timeline as a plain per-copy delivery; the
-                                # rest of the group is unaffected (exactly
-                                # what the per-copy pipeline did).
-                                compute.record_wait(target, free_at - time_)
-                                if self._compute_listeners:
-                                    self._notify_compute("cpu-wait", target,
-                                                         time_,
-                                                         free_at - time_, None)
-                                heappush(queue, (free_at, next(seq), "message",
-                                                 target, mpayload))
-                                continue
-                        if is_crashed is not None and is_crashed(target, self.now):
-                            self._messages_dropped += 1
-                        else:
-                            self._messages_delivered += 1
-                            protocols[target].on_message(contexts[target],
-                                                         sender, message)
-                            if message_cost is not None:
-                                cost = message_cost(target, sender, message)
-                                if cost > 0.0:
-                                    compute.record_busy(target, self.now, cost)
-                                    if self._compute_listeners:
-                                        self._notify_compute(
-                                            "cpu-busy", target, self.now,
-                                            cost, message)
-                        processed += 1
-                    if remaining is not None:
-                        heappush(queue, (time_, _seq, "mbatch",
-                                         _EXTERNAL_TARGET,
-                                         (remaining, mpayload)))
-                    # ``processed`` was advanced per member above.
-                    break
-                elif kind == "timer":
-                    if is_crashed is None or not is_crashed(target, self.now):
-                        protocols[target].on_timer(contexts[target], payload)
-                elif kind == "external":
-                    payload()
-                else:  # pragma: no cover - defensive
-                    raise RuntimeError(f"unknown event kind {kind!r}")
-                processed += 1
-                break
+        self._run_dispatch(until, max_events)
         if until != math.inf:
             self.now = max(self.now, until)
 
@@ -740,8 +601,6 @@ class Simulation:
                     listener(sender, receiver, message, self.now, delivery)
             return
         counts = self._event_kind_counts
-        row = self._transport.broadcast_arrival_row(sender, receivers, message,
-                                                    self.now, self._rng)
         if self._spread_broadcasts:
             # Jittered latency: arrival instants are almost surely pairwise
             # distinct, so the whole broadcast becomes ONE chained "sbatch"
@@ -755,10 +614,34 @@ class Simulation:
             # is either below the whole block (it wins exact-time ties both
             # ways) or above it (it loses them both ways), and same-time
             # members keep their per-copy push order via the stable sort.
-            if row is not None:
+            # Exactly one arrival-schedule builder runs per broadcast (the
+            # jitter draws consume the shared rng stream): the vectorized
+            # array when available, else the scalar row, else per-pair.
+            arrival_array = self._transport.broadcast_arrival_array(
+                sender, receivers, message, self.now, self._rng)
+            row = None
+            if arrival_array is None:
+                row = self._transport.broadcast_arrival_row(
+                    sender, receivers, message, self.now, self._rng)
+            if arrival_array is not None:
+                # Vectorized schedule: a stable argsort breaks exact-time
+                # ties in index order, which for the ascending full
+                # receiver set IS receiver order — identical to
+                # ``sorted(zip(row, receivers))`` — and ``tolist()``
+                # preserves float bits.
+                order = arrival_array.argsort(kind="stable")
+                times = arrival_array[order].tolist()
+                if self._ids_are_range:
+                    targets = order.tolist()
+                else:
+                    ids = receivers
+                    targets = [ids[i] for i in order.tolist()]
+            elif row is not None:
                 # ``receivers`` is ascending, so tuple comparison on equal
                 # times reproduces the per-copy (receiver-order) tie-break.
                 schedule = sorted(zip(row, receivers))
+                times = [deliver_at for deliver_at, _ in schedule]
+                targets = [receiver for _, receiver in schedule]
             else:
                 pairs = self._transport.broadcast_times(
                     sender, receivers, message, self.now, self._rng)
@@ -769,14 +652,16 @@ class Simulation:
                 # in receiver order, and exact-time ties must keep the
                 # transport's pair order (= the per-copy push order).
                 pairs.sort(key=_PAIR_TIME)
-                schedule = [(deliver_at, receiver)
-                            for receiver, deliver_at in pairs]
-            if schedule:
+                times = [deliver_at for _, deliver_at in pairs]
+                targets = [receiver for receiver, _ in pairs]
+            if times:
                 counts["sbatch"] += 1
-                counts["sbatch_members"] += len(schedule)
-                first_time, first_receiver = schedule[0]
-                heappush(queue, (first_time, next(seq), "sbatch",
-                                 first_receiver, [schedule, 0, payload]))
+                counts["sbatch_members"] += len(times)
+                # Flat payload (one unpack per dispatch): ``index`` must
+                # stay at slot 2 (the loop's resume-point writes).
+                heappush(queue, (times[0], next(seq), "sbatch", targets[0],
+                                 [times, targets, 0, sender, message,
+                                  len(times), payload]))
             return
         # Group copies arriving at the same instant into one heap event
         # ("mbatch"): under a zero-jitter latency model an n-way broadcast
@@ -787,6 +672,8 @@ class Simulation:
         # order by the heap key regardless of seq.  The group dict is a
         # scratch buffer reused across broadcasts; the fast path consumes
         # the transport's aligned arrival row directly (no pair tuples).
+        row = self._transport.broadcast_arrival_row(sender, receivers, message,
+                                                    self.now, self._rng)
         groups = self._group_scratch
         get_group = groups.get
         if row is not None:
@@ -850,32 +737,6 @@ class Simulation:
             self._commits[replica_id].append(record)
             for listener in self._commit_listeners:
                 listener(record)
-
-    def _dispatch(self, kind: str, target: int, payload: Any) -> None:
-        if kind == "external":
-            payload()
-            return
-        if self.network.faults.is_crashed(target, self.now):
-            if kind == "message":
-                self._messages_dropped += 1
-            return
-        protocol = self._protocols[target]
-        context = self._contexts[target]
-        if kind == "message":
-            sender, message = payload
-            self._messages_delivered += 1
-            protocol.on_message(context, sender, message)
-            if self._compute_cost is not None:
-                cost = self._compute_cost(target, sender, message)
-                if cost > 0.0:
-                    self._compute.record_busy(target, self.now, cost)
-                    if self._compute_listeners:
-                        self._notify_compute("cpu-busy", target, self.now,
-                                             cost, message)
-        elif kind == "timer":
-            protocol.on_timer(context, payload)
-        else:  # pragma: no cover - defensive
-            raise RuntimeError(f"unknown event kind {kind!r}")
 
     def _notify_compute(self, kind: str, replica_id: int, time_: float,
                         seconds: float, message: Optional[Message]) -> None:

@@ -35,7 +35,7 @@ the engine does not perturb seeded executions.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 #: Callback invoked (exactly once per block) when a block reaches the
 #: tracker's threshold.
@@ -101,6 +101,51 @@ class QuorumTracker:
             if self.on_threshold is not None:
                 self.on_threshold(block_id)
         return True
+
+    def add_votes(self, block_id: Hashable, voters: Sequence[int]) -> int:
+        """Tally an ordered run of individual votes for one block; return
+        how many were consumed.
+
+        This is the batched-dispatch counterpart of calling
+        :meth:`add_vote` once per voter (same duplicate and equivocation
+        bookkeeping, same firing rule), with the per-vote dictionary
+        lookups hoisted out of the loop.  The pass stops **immediately
+        after a threshold crossing** — the callback has fired and the
+        crossing voter is counted, but no later voter is — so the caller
+        can run its per-vote re-evaluation at exactly the vote where the
+        scalar path would have, then feed the remainder
+        (``voters[consumed:]``) back in; a block crosses at most once, so
+        the second pass always consumes the rest.  Unlike
+        :meth:`add_voters` (which merges a certificate's voter *set*),
+        duplicates here are skipped silently and never fire.
+        """
+        existing = self._voters.get(block_id)
+        if existing is None:
+            existing = self._voters[block_id] = set()
+        by_voter = self._by_voter
+        equivocators = self._equivocators
+        threshold = self.threshold
+        fired = self._fired
+        armed = block_id not in fired
+        consumed = 0
+        for voter in voters:
+            consumed += 1
+            if voter in existing:
+                continue
+            existing.add(voter)
+            supported = by_voter.get(voter)
+            if supported is None:
+                by_voter[voter] = {block_id}
+            else:
+                supported.add(block_id)
+                if len(supported) > 1:
+                    equivocators.add(voter)
+            if armed and len(existing) >= threshold:
+                fired.add(block_id)
+                if self.on_threshold is not None:
+                    self.on_threshold(block_id)
+                break
+        return consumed
 
     def add_voters(self, block_id: Hashable, voters: Iterable[int]) -> bool:
         """Merge a certificate's voter set; return whether any vote was new.

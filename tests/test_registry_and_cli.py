@@ -124,6 +124,23 @@ class TestCLI:
                      "--seeds", "2", "--no-cache"]) == 0
         assert capsys.readouterr().out == first.out
 
+    def test_run_profile_out_dumps_pstats(self, capsys, tmp_path):
+        import pstats
+
+        path = str(tmp_path / "run.pstats")
+        # --profile-out implies --profile: one replication under cProfile,
+        # raw stats dumped to the given path for offline analysis.
+        assert main([
+            "run", "--protocol", "banyan", "--n", "4", "--f", "1", "--p", "1",
+            "--payload", "10000", "--duration", "4", "--topology", "global4",
+            "--profile-out", path,
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "mean_latency_ms" in captured.out
+        assert "scheduled events by kind" in captured.err
+        stats = pstats.Stats(path)
+        assert stats.stats  # non-empty profile
+
     def test_run_command_with_seeds(self, capsys):
         assert main([
             "run", "--protocol", "banyan", "--n", "4", "--f", "1", "--p", "1",
