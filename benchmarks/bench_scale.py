@@ -7,7 +7,10 @@ Three measurements gate the scaling work:
   replica counts and run under two latency models: the zero-jitter
   constant model (event-queue-bound) and the jittered ``wan-matrix``
   model (delay-computation-bound, the case the batched delay tables
-  target).  This isolates the event queue plus transport.
+  target).  Every cell runs under both event-scheduler backends (the
+  reference heap and the calendar queue), so the record gates the
+  calendar queue's jittered-hot-path win and its overhead elsewhere.
+  This isolates the event queue plus transport.
 * **Broadcast-delay copies/sec at n=64/256, per latency model** — a
   transport-only microbench of ``broadcast_times`` across all five
   shipped latency models, gating the row pipeline in isolation.
@@ -92,22 +95,31 @@ def _flood_duration(n: int) -> float:
 #: (the delay-computation-bound extreme the row batching targets).
 FLOOD_MODELS = ("const", "wan-matrix")
 
+#: Event-scheduler backends every flood cell runs under.  Executions are
+#: byte-identical between the two (``tests/test_scheduler.py``); the row
+#: pairs gate the calendar queue's win on the jittered hot path and its
+#: overhead on the queue-bound constant-latency shape.
+FLOOD_SCHEDULERS = ("heap", "calendar")
 
-def _flood_network(n: int, model: str) -> NetworkConfig:
+
+def _flood_network(n: int, model: str, scheduler: str) -> NetworkConfig:
     if model == "const":
         return NetworkConfig(latency=ConstantLatency(0.02),
-                             faults=FaultPlan.none(), seed=0)
+                             faults=FaultPlan.none(), seed=0,
+                             scheduler=scheduler)
     topology = worldwide_datacenters(n)
     return NetworkConfig(latency=WanMatrixLatency(topology),
                          bandwidth=BandwidthModel(topology=topology),
-                         faults=FaultPlan.none(), seed=0)
+                         faults=FaultPlan.none(), seed=0,
+                         scheduler=scheduler)
 
 
-def _run_flood(n: int, model: str = "const") -> dict:
+def _run_flood(n: int, model: str = "const",
+               scheduler: str = "heap") -> dict:
     """One broadcast-heavy protocol-free run; returns its throughput row."""
     params = ProtocolParams(n=n, f=0, p=0)
     protocols = {i: FloodProtocol(i, params) for i in range(n)}
-    simulation = Simulation(protocols, _flood_network(n, model))
+    simulation = Simulation(protocols, _flood_network(n, model, scheduler))
     duration = _flood_duration(n)
     # Collect before timing: generational GC scans over the previous
     # cases' heaps otherwise land inside the measured region (worth
@@ -122,6 +134,7 @@ def _run_flood(n: int, model: str = "const") -> dict:
     return {
         "n": n,
         "model": model,
+        "scheduler": scheduler,
         "sim_seconds": duration,
         "events": events,
         "wall_s": round(wall, 4),
@@ -364,8 +377,10 @@ def test_scale_throughput(benchmark) -> None:
     smoke = _smoke()
 
     def _measure() -> dict:
-        flood = [_best_of(lambda n=n, m=model: _run_flood(n, m))
-                 for model in FLOOD_MODELS for n in _flood_counts()]
+        flood = [_best_of(lambda n=n, m=model, s=sched: _run_flood(n, m, s))
+                 for model in FLOOD_MODELS
+                 for sched in FLOOD_SCHEDULERS
+                 for n in _flood_counts()]
         delay = [_best_of(lambda n=n, m=model: _run_broadcast_delay(n, m))
                  for model in DELAY_MODELS for n in _delay_counts()]
         dispatch = [_best_of(lambda c=case, b=build, s=scalar:

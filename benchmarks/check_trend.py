@@ -6,12 +6,12 @@ Usage::
         --baseline benchmarks/results/BENCH_bench_scale_smoke.json \
         --current fresh-bench/BENCH_bench_scale_smoke.json
 
-Rows are matched by ``(series name, n, mode, model)`` across the two
-records' ``series`` maps; any matched row whose ``events_per_s`` falls more
-than the tolerance below the baseline fails the check (exit code 1).  Rows
-present on one side only are reported but do not fail — adding a replica
-count, workload mode, or latency model to the bench must not break CI
-retroactively.
+Rows are matched by ``(series name, n, mode, model, scheduler)`` across the
+two records' ``series`` maps; any matched row whose ``events_per_s`` falls
+more than the tolerance below the baseline fails the check (exit code 1).
+Rows present on one side only are reported but do not fail — adding a
+replica count, workload mode, latency model, or scheduler backend to the
+bench must not break CI retroactively.
 
 The default tolerance is 20% (the regression budget from the scaling work);
 override with ``BANYAN_TREND_TOLERANCE`` (e.g. ``0.35``) when comparing
@@ -33,18 +33,18 @@ DEFAULT_TOLERANCE = 0.20
 METRIC = "events_per_s"
 
 
-def _load_rows(path: str) -> Dict[Tuple[str, object, object, object], float]:
+def _load_rows(path: str) -> Dict[Tuple[str, ...], float]:
     """Flatten a BENCH record's series into
-    ``(series, n, mode, model) -> metric``."""
+    ``(series, n, mode, model, scheduler) -> metric``."""
     with open(path, "r", encoding="utf-8") as handle:
         record = json.load(handle)
-    rows: Dict[Tuple[str, object, object, object], float] = {}
+    rows: Dict[Tuple[str, ...], float] = {}
     for series_name, series_rows in record.get("series", {}).items():
         for row in series_rows:
             if METRIC not in row:
                 continue
             key = (series_name, row.get("n"), row.get("mode"),
-                   row.get("model"))
+                   row.get("model"), row.get("scheduler"))
             rows[key] = float(row[METRIC])
     return rows
 
@@ -81,10 +81,11 @@ def main(argv=None) -> int:
         verdict = "ok" if after >= floor else "REGRESSION"
         if verdict != "ok":
             failures += 1
-        series, n, mode, model = key
+        series, n, mode, model, scheduler = key
         label = (f"{series} n={n}"
                  + (f" mode={mode}" if mode else "")
-                 + (f" model={model}" if model else ""))
+                 + (f" model={model}" if model else "")
+                 + (f" sched={scheduler}" if scheduler else ""))
         print(f"{verdict:>10}  {label:<28} {METRIC}: "
               f"{before:>12.1f} -> {after:>12.1f}  ({change:+.1f}%)")
     for key in sorted(set(baseline) - set(current), key=repr):

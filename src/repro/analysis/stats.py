@@ -60,10 +60,13 @@ def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
     """
     if len(values) != len(weights):
         raise ValueError("values and weights must have the same length")
-    total = sum(weights)
+    # ``math.fsum`` keeps both accumulations exactly rounded: at fluid-mode
+    # scale (1e6-count transaction weights) a naive running sum drifts by
+    # enough to move the mean of close-together latencies.
+    total = math.fsum(weights)
     if total <= 0:
         return 0.0
-    return sum(v * w for v, w in zip(values, weights)) / total
+    return math.fsum(v * w for v, w in zip(values, weights)) / total
 
 
 def weighted_percentile(values: Sequence[float], weights: Sequence[float],
@@ -89,12 +92,26 @@ def weighted_percentile(values: Sequence[float], weights: Sequence[float],
         return 0.0
     if q == 0:
         return pairs[0][0]
-    total = sum(w for _, w in pairs)
+    # Exactly-rounded total, and a Neumaier-compensated running sum for the
+    # cumulative rank: naive float accumulation of 1e6-count weights can
+    # round the running total past (or short of) ``target`` and flip the
+    # nearest-rank bucket, breaking the documented unit-weight ≡
+    # ``percentile`` equivalence.  Integer-valued weights stay exact here
+    # (every partial sum is exact below 2**53, matching ``percentile``'s
+    # integer rank arithmetic), and fractional weights get an error term
+    # no worse than one ulp of the total.
+    total = math.fsum(w for _, w in pairs)
     target = q / 100.0 * total
     cumulative = 0.0
+    residue = 0.0
     for value, weight in pairs:
-        cumulative += weight
-        if cumulative >= target:
+        new = cumulative + weight
+        if cumulative >= weight:
+            residue += (cumulative - new) + weight
+        else:
+            residue += (weight - new) + cumulative
+        cumulative = new
+        if cumulative + residue >= target:
             return value
     return pairs[-1][0]
 

@@ -44,6 +44,7 @@ from repro.net.latency import available_latency_models
 from repro.net.topology import TOPOLOGY_FACTORIES
 from repro.net.transport import available_transports
 from repro.runtime.compute import available_compute_models
+from repro.runtime.scheduler import SCHEDULERS
 from repro.protocols.base import ProtocolParams
 from repro.protocols.registry import available_protocols
 
@@ -139,6 +140,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--compute-scale", type=float, default=None,
                             help="cost multiplier for the crypto compute "
                                  "model (default: 1.0)")
+    run_parser.add_argument("--scheduler", choices=SCHEDULERS, default="auto",
+                            help="event-scheduler backend (default: auto — "
+                                 "calendar queue on large jittered runs, "
+                                 "binary heap otherwise; executions are "
+                                 "byte-identical either way)")
     run_parser.add_argument("--profile", action="store_true",
                             help="run one replication under cProfile and dump "
                                  "the top-25 cumulative functions plus "
@@ -335,7 +341,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                           compute=args.compute,
                           compute_scale=(args.compute_scale
                                          if args.compute_scale is not None else 1.0),
-                          latency_model=args.latency_model)
+                          latency_model=args.latency_model,
+                          scheduler=args.scheduler)
     if args.profile or args.profile_out:
         return _run_profiled(spec, profile_out=args.profile_out)
     plan = ExperimentPlan(name="run", title="custom experiment",

@@ -84,6 +84,11 @@ class ExperimentConfig:
             then carry per-replica busy fractions and queue waits.
         compute_scale: cost multiplier for the ``"crypto"`` compute model
             (``2.0`` models cores half as fast).
+        scheduler: event-scheduler backend for the simulator, one of
+            :data:`repro.runtime.scheduler.SCHEDULERS` — ``"auto"`` (the
+            default: calendar queue on large jittered runs, binary heap
+            otherwise), ``"heap"``, or ``"calendar"``.  Both backends
+            produce byte-identical executions; this is a performance knob.
     """
 
     protocol: str
@@ -105,6 +110,7 @@ class ExperimentConfig:
     relays: int = 2
     compute: str = "zero"
     compute_scale: float = 1.0
+    scheduler: str = "auto"
 
     def resolved_topology(self) -> Topology:
         """The topology to use (default: 4 global datacenters)."""
@@ -153,6 +159,7 @@ class ExperimentConfig:
         data.update(_transport_fields(self.transport, self.uplink_mbps, self.relays))
         data.update(_compute_fields(self.compute, self.compute_scale))
         data.update(_latency_fields(self.latency_model))
+        data.update(_scheduler_fields(self.scheduler))
         return data
 
     @classmethod
@@ -185,6 +192,7 @@ class ExperimentConfig:
             compute=str(data.get("compute", "zero")),
             compute_scale=float(data.get("compute_scale", 1.0)),
             latency_model=str(data.get("latency_model", "geo")),
+            scheduler=str(data.get("scheduler", "auto")),
         )
 
 
@@ -224,6 +232,19 @@ def _compute_fields(compute: str, compute_scale: float) -> Dict[str, object]:
         if compute_scale != 1.0:
             fields["compute_scale"] = compute_scale
     return fields
+
+
+def _scheduler_fields(scheduler: str) -> Dict[str, object]:
+    """The non-default scheduler field of a config/spec dictionary.
+
+    Mirrors :func:`_transport_fields`: the default (``"auto"``) is omitted.
+    Both backends execute byte-identically, so the backend is serialised
+    only when pinned explicitly — semantically identical experiments keep
+    hashing (and caching) alike.
+    """
+    if scheduler != "auto":
+        return {"scheduler": scheduler}
+    return {}
 
 
 def _latency_fields(latency_model: str) -> Dict[str, object]:
@@ -359,6 +380,7 @@ def run_experiment(config: ExperimentConfig,
         relays=config.relays,
         compute=config.compute,
         compute_scale=config.compute_scale,
+        scheduler=config.scheduler,
     )
     pool = None
     if config.workload is not None:

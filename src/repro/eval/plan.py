@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.eval.experiment import (
     ExperimentConfig,
     _compute_fields,
+    _scheduler_fields,
     _latency_fields,
     _transport_fields,
 )
@@ -112,6 +113,9 @@ class ExperimentSpec:
         compute_scale: cost multiplier for the crypto compute model.
         latency_model: topology-derived latency model name (``"geo"``,
             ``"wan-matrix"``).
+        scheduler: event-scheduler backend (``"auto"``, ``"heap"``,
+            ``"calendar"``); a performance knob — executions are
+            byte-identical across backends.
         series: figure series this cell belongs to (defaults to ``label``).
         cell: identifier of the cell within its series (e.g.
             ``"payload=400000"``); replications of one cell share it.
@@ -137,6 +141,7 @@ class ExperimentSpec:
     compute: str = "zero"
     compute_scale: float = 1.0
     latency_model: str = "geo"
+    scheduler: str = "auto"
     series: Optional[str] = None
     cell: str = ""
     replication: int = 0
@@ -178,6 +183,7 @@ class ExperimentSpec:
             compute=self.compute,
             compute_scale=self.compute_scale,
             latency_model=self.latency_model,
+            scheduler=self.scheduler,
         )
 
     @classmethod
@@ -218,6 +224,7 @@ class ExperimentSpec:
             compute=config.compute,
             compute_scale=config.compute_scale,
             latency_model=config.latency_model,
+            scheduler=config.scheduler,
             **meta,
         )
 
@@ -256,6 +263,7 @@ class ExperimentSpec:
         data.update(_transport_fields(self.transport, self.uplink_mbps, self.relays))
         data.update(_compute_fields(self.compute, self.compute_scale))
         data.update(_latency_fields(self.latency_model))
+        data.update(_scheduler_fields(self.scheduler))
         return data
 
     @classmethod
@@ -284,6 +292,7 @@ class ExperimentSpec:
             compute=str(data.get("compute", "zero")),
             compute_scale=float(data.get("compute_scale", 1.0)),
             latency_model=str(data.get("latency_model", "geo")),
+            scheduler=str(data.get("scheduler", "auto")),
             series=data.get("series"),
             cell=str(data.get("cell", "")),
             replication=int(data.get("replication", 0)),

@@ -37,6 +37,26 @@ _PROBE_RNG = random.Random(0)
 #: Number of samples drawn by the ``expected_delay`` probing fallback.
 _PROBE_SAMPLES = 32
 
+#: ``2**-53`` — the scale CPython's ``Random.random`` applies to its 53
+#: significant Mersenne bits.
+_RECIP53 = 1.0 / 9007199254740992.0
+
+
+def _bulk_uniform(rng: random.Random, count: int):
+    """``count`` consecutive ``rng.random()`` draws as one float64 array.
+
+    CPython's ``Random.random`` consumes two 32-bit Mersenne words per call
+    (a 27-bit high part and a 26-bit low part); ``getrandbits(64 * count)``
+    consumes the *same* words in the same order and packs them little-endian,
+    so unpacking the words recovers every draw bit-for-bit while paying one
+    Python-level call instead of ``count``.  Callers must gate on
+    ``type(rng) is random.Random`` — a subclass may override ``random`` or
+    ``getrandbits`` and break the word-stream correspondence.
+    """
+    words = _np.frombuffer(
+        rng.getrandbits(count << 6).to_bytes(count << 3, "little"), "<u4")
+    return ((words[0::2] >> 5) * 67108864.0 + (words[1::2] >> 6)) * _RECIP53
+
 
 class LatencyModel(ABC):
     """Base class for one-way delay models.
@@ -401,12 +421,13 @@ class _TopologyLatency(LatencyModel):
                         rng: random.Random):
         """Vectorized :meth:`delay_row`, or ``None`` (rng then untouched).
 
-        The jitter draws are made one scalar ``rng.random()`` at a time in
-        receiver order — the Mersenne stream cannot be vectorized without
-        changing the draws — but the affine jitter application is one
-        elementwise pass: ``row * (1.0 + jitter * draws)`` runs the exact
-        IEEE operations of the scalar ``value * (1.0 + jitter * rand())``,
-        so the result is bit-identical to :meth:`delay_row`.
+        The jitter draws come from :func:`_bulk_uniform` — one
+        ``getrandbits`` call that consumes the Mersenne stream exactly as
+        ``count`` scalar ``rng.random()`` calls would — and the affine
+        jitter application is one elementwise pass: ``row * (1.0 + jitter *
+        draws)`` runs the exact IEEE operations of the scalar ``value *
+        (1.0 + jitter * rand())``, so the result is bit-identical to
+        :meth:`delay_row`.
         """
         arr = self.nominal_row_array(sender, receivers)
         if arr is None:
@@ -414,9 +435,20 @@ class _TopologyLatency(LatencyModel):
         jitter = self._jitter
         if jitter <= 0:
             return arr
-        rand = rng.random
-        draws = _np.asarray([rand() for _ in _repeat(None, len(arr))])
-        return arr * (1.0 + jitter * draws)
+        count = len(arr)
+        if type(rng) is random.Random:
+            draws = _bulk_uniform(rng, count)
+        else:  # subclassed rng: fall back to per-draw calls
+            rand = rng.random
+            draws = _np.fromiter((rand() for _ in _repeat(None, count)),
+                                 _np.float64, count)
+        # In-place affine: ``rand * jitter``, ``+ 1.0``, ``* value`` are the
+        # scalar path's operations with commuted operands — bit-identical
+        # under IEEE 754 — without three temporary rows per broadcast.
+        draws *= jitter
+        draws += 1.0
+        draws *= arr
+        return draws
 
     def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
         """Return the nominal delay with multiplicative jitter."""

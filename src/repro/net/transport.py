@@ -398,7 +398,11 @@ class DirectTransport(Transport):
         if propagation_arr is None:
             return None
         size = getattr(message, "wire_size", 0)
-        return (now + self._transfer_array(sender, receivers, size)) + propagation_arr
+        # ``(now + transfer) + propagation`` with the second add done in
+        # place on the fresh left-hand temporary (never the cached rows).
+        arrivals = now + self._transfer_array(sender, receivers, size)
+        arrivals += propagation_arr
+        return arrivals
 
     def _transfer_array(self, sender: int, receivers: Sequence[int], size: int):
         """:meth:`_transfer_row` as a cached numpy array (same validation)."""

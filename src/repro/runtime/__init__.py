@@ -18,15 +18,23 @@ Protocols in this repository are *sans-io* state machines (see
 
 from repro.runtime.compute import ComputeModel, CryptoCostCompute, CryptoCostTable, ZeroCompute
 from repro.runtime.context import ReplicaContext, Timer
-from repro.runtime.simulator import CommitRecord, NetworkConfig, Simulation
+from repro.runtime.scheduler import SCHEDULERS
+from repro.runtime.simulator import (
+    BudgetExhausted,
+    CommitRecord,
+    NetworkConfig,
+    Simulation,
+)
 
 __all__ = [
+    "BudgetExhausted",
     "CommitRecord",
     "ComputeModel",
     "CryptoCostCompute",
     "CryptoCostTable",
     "NetworkConfig",
     "ReplicaContext",
+    "SCHEDULERS",
     "Simulation",
     "Timer",
     "ZeroCompute",

@@ -41,11 +41,25 @@ exits early (after flushing its counters) when
 ``Simulation._dispatch_generation`` changes mid-run — feature toggles like
 flipping ``force_scalar_dispatch`` bump the generation, and the ``run()``
 driver re-selects the variant and resumes seamlessly.
+
+Scheduler backends: the template above assumes the binary-heap scheduler
+(``sim._queue`` is its raw list).  Under the calendar-queue backend
+(:mod:`repro.runtime.scheduler`) a second template, ``_CALQ_TEMPLATE``,
+renders instead: it walks the materialized current bucket by local index
+(no per-event sift), merges the bucket's small "inc" heap of late
+arrivals, and advances/materializes buckets through the scheduler's cold
+methods.  Broadcast members arrive as lean 4-tuples — there is no
+``sbatch`` kind and no fusion under this backend (the calendar queue is
+selected for jittered runs, where same-instant sweeps never form).
+``select_loop`` keys its cache on the backend name as well.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_right
+
+from repro.runtime.scheduler import _STD as _STD_TARGET
 from typing import Any, Callable, Dict, Tuple
 
 #: Effectively-unbounded event budget used when ``max_events`` is ``None``
@@ -464,6 +478,363 @@ def _loop(sim, until, budget):
 """
 
 
+# --------------------------------------------------------------------- #
+# Calendar-queue loop template
+# --------------------------------------------------------------------- #
+#
+# Walks the scheduler's materialized current bucket by a local index
+# instead of popping a heap.  The bucket is four parallel columns (times /
+# targets / senders / messages) of plain scalars — no per-event tuples, so
+# a materialized bucket is invisible to the cyclic garbage collector and
+# the fast path is four C-level list indexes per delivery.  A standard
+# 5-tuple event (timer, external, deferred message, mbatch) marks its row
+# with a negative sentinel target and parks the tuple in the message
+# column.  Events that arrive *inside* the open bucket land in the
+# scheduler's small `_inc` heap and are merged by time (residents win
+# exact-time ties — they were scheduled first).  `run_end` pre-cuts the
+# walk at the `until` horizon via one bisect, so the fast path carries no
+# per-event horizon compare.
+
+_CALQ_TEMPLATE = """\
+def _loop(sim, until, budget):
+    sched = sim._scheduler
+    heappop = _heappop
+    _len = len
+    pending_timers = sim._pending_timers
+    cancelled_timers = sim._cancelled_timers
+    deliver_one = sim._deliver_one
+    fire_timer = sim._fire_timer
+    sched_push = sched.push
+#if CRASH
+    is_crashed = sim.network.faults.is_crashed
+#endif
+#if COMPUTE
+    compute = sim._compute
+    message_cost = sim._compute_cost
+    busy_until = compute.busy_until
+    record_wait = compute.record_wait
+    record_busy = compute.record_busy
+    seq = sim._seq
+#endif
+    generation = sim._dispatch_generation
+    now = sim.now
+    processed = 0
+    delivered = 0
+    dropped = 0
+    inc_pops = 0
+    times = sched._cur_times
+    targs = sched._cur_targets
+    sends = sched._cur_senders
+    msgs = sched._cur_messages
+    pos = sched._pos
+    cur_len = len(times)
+    inc = sched._inc
+    if cur_len == 0 or times[cur_len - 1] <= until:
+        run_end = cur_len
+    else:
+        run_end = _bisect_right(times, until, pos)
+    # ``pending`` holds an event already removed from the queue that must
+    # be dispatched without re-running the top-of-loop checks — the event
+    # after a cancelled timer (the preserved horizon edge).
+    pending = None
+    while True:
+        if pending is not None:
+            event = pending
+            pending = None
+        else:
+#if BUDGET
+            if processed >= budget:
+                break
+#endif
+            if inc and not (pos < run_end and times[pos] <= inc[0][0]):
+                # The inc heap's head (an event scheduled into the open
+                # bucket after it materialized) is due before the next
+                # resident; exact-time ties go to residents — they were
+                # scheduled first.
+                event = inc[0]
+                if event[0] > until:
+                    break
+                if sim._dispatch_generation != generation:
+                    break
+                heappop(inc)
+                inc_pops += 1
+            else:
+                # Burst: walk consecutive bucket rows with no per-event
+                # queue bookkeeping.  The inc boundary is a cached float
+                # (refreshed only when a handler grew the heap — pops
+                # never happen mid-burst), the ``until`` horizon is the
+                # precomputed ``run_end``, and the budget pre-cuts
+                # ``stop`` instead of a per-event compare.  The generation
+                # check runs once per burst: a mid-run bump (listener
+                # attach / force-scalar toggle) changes neither this
+                # variant's selection nor its in-loop behaviour, so burst
+                # granularity is observationally identical.
+                if sim._dispatch_generation != generation:
+                    break
+                stop = run_end
+#if BUDGET
+                rem = budget - processed
+                if stop - pos > rem:
+                    stop = pos + rem
+#endif
+                if inc:
+                    inc_t = inc[0][0]
+                else:
+                    inc_t = _INF
+                inc_n = _len(inc)
+#if TALLY
+                burst_base = pos
+#endif
+                while pos < stop:
+                    time_ = times[pos]
+                    if time_ > inc_t:
+                        break
+                    target = targs[pos]
+                    if target < 0:
+                        break
+                    sender = sends[pos]
+                    message = msgs[pos]
+                    pos += 1
+                    if time_ > now:
+                        now = time_
+                        sim.now = now
+#if COMPUTE
+                    free_at = busy_until.get(target, 0.0)
+                    if free_at > time_:
+                        # Busy core: the delivery queues on the replica's
+                        # CPU timeline and is retried once it frees up
+                        # (no budget charge).
+                        record_wait(target, free_at - time_)
+                        if sim._compute_listeners:
+                            sim._notify_compute("cpu-wait", target, time_,
+                                                free_at - time_, None)
+                        sched_push((free_at, next(seq), "message", target,
+                                    (sender, message)))
+                        if _len(inc) != inc_n:
+                            inc_n = _len(inc)
+                            inc_t = inc[0][0]
+                        continue
+#endif
+#if CRASH
+                    if is_crashed(target, now):
+                        dropped += 1
+                        processed += 1
+                        continue
+#endif
+                    handler, ctx = deliver_one[target]
+                    handler(ctx, sender, message)
+#if not TALLY
+                    delivered += 1
+                    processed += 1
+#endif
+#if COMPUTE
+                    cost = message_cost(target, sender, message)
+                    if cost > 0.0:
+                        record_busy(target, now, cost)
+                        if sim._compute_listeners:
+                            sim._notify_compute("cpu-busy", target, now,
+                                                cost, message)
+#endif
+                    if _len(inc) != inc_n:
+                        inc_n = _len(inc)
+                        inc_t = inc[0][0]
+#if TALLY
+                # Every row a plain-delivery burst consumes is exactly one
+                # processed delivery: tally once per burst, not per event.
+                consumed = pos - burst_base
+                delivered += consumed
+                processed += consumed
+#endif
+                if pos < stop:
+                    if times[pos] > inc_t:
+                        # A handler pushed an inc event that is now due.
+                        continue
+                    # Standard 5-tuple resident (timer / mbatch / external
+                    # / deferred message) at the walk front; its horizon
+                    # check is the ``run_end`` bound and its generation
+                    # check ran at burst entry.
+                    event = msgs[pos]
+                    pos += 1
+                else:
+                    if inc or pos < run_end:
+                        # Inc head due / budget cut: resolve at the top.
+                        continue
+                    if run_end < cur_len:
+                        break
+                    sched._pos = pos
+                    sched._inc_pops += inc_pops
+                    inc_pops = 0
+                    if not (sched._ring_count or sched._overflow):
+                        break
+                    sched._advance()
+                    times = sched._cur_times
+                    targs = sched._cur_targets
+                    sends = sched._cur_senders
+                    msgs = sched._cur_messages
+                    pos = 0
+                    cur_len = len(times)
+                    if cur_len == 0 or times[cur_len - 1] <= until:
+                        run_end = cur_len
+                    else:
+                        run_end = _bisect_right(times, until)
+                    continue
+        time_, seq_, kind, target, payload = event
+        if kind == "message":
+            if time_ > now:
+                now = time_
+                sim.now = now
+#if COMPUTE
+            free_at = busy_until.get(target, 0.0)
+            if free_at > time_:
+                record_wait(target, free_at - time_)
+                if sim._compute_listeners:
+                    sim._notify_compute("cpu-wait", target, time_,
+                                        free_at - time_, None)
+                sched_push((free_at, next(seq), "message", target, payload))
+                continue
+#endif
+#if CRASH
+            if is_crashed(target, now):
+                dropped += 1
+                processed += 1
+                continue
+#endif
+            sender, message = payload
+            handler, ctx = deliver_one[target]
+            handler(ctx, sender, message)
+            delivered += 1
+            processed += 1
+#if COMPUTE
+            cost = message_cost(target, sender, message)
+            if cost > 0.0:
+                record_busy(target, now, cost)
+                if sim._compute_listeners:
+                    sim._notify_compute("cpu-busy", target, now, cost,
+                                        message)
+#endif
+        elif kind == "mbatch":
+            # Same-instant broadcast group (zero-jitter latency): every
+            # member is a delivery at exactly ``time_``, processed
+            # back-to-back.  An exhausted budget reinserts the tail at
+            # the walk front — the tail's original ``(time, seq)`` key
+            # precedes everything still queued, so a front insert keeps
+            # the total order (same argument as ``requeue_front``).
+            targets, mpayload = payload
+            sender, message = mpayload
+            if time_ > now:
+                now = time_
+                sim.now = now
+            mcount = len(targets)
+            mindex = 0
+            while mindex < mcount:
+#if BUDGET
+                if processed >= budget:
+                    times.insert(pos, time_)
+                    targs.insert(pos, _STD_TARGET)
+                    sends.insert(pos, 0)
+                    msgs.insert(pos, (time_, seq_, "mbatch",
+                                      _EXTERNAL_TARGET,
+                                      (targets[mindex:], mpayload)))
+                    cur_len += 1
+                    break
+#endif
+                target = targets[mindex]
+                mindex += 1
+#if COMPUTE
+                free_at = busy_until.get(target, 0.0)
+                if free_at > time_:
+                    record_wait(target, free_at - time_)
+                    if sim._compute_listeners:
+                        sim._notify_compute("cpu-wait", target, time_,
+                                            free_at - time_, None)
+                    sched_push((free_at, next(seq), "message", target,
+                                mpayload))
+                    continue
+#endif
+#if CRASH
+                if is_crashed(target, now):
+                    dropped += 1
+                    processed += 1
+                    continue
+#endif
+                handler, ctx = deliver_one[target]
+                handler(ctx, sender, message)
+                delivered += 1
+                processed += 1
+#if COMPUTE
+                cost = message_cost(target, sender, message)
+                if cost > 0.0:
+                    record_busy(target, now, cost)
+                    if sim._compute_listeners:
+                        sim._notify_compute("cpu-busy", target, now, cost,
+                                            message)
+#endif
+        elif kind == "timer":
+            timer_id = payload.timer_id
+            pending_timers.discard(timer_id)
+            if timer_id in cancelled_timers:
+                cancelled_timers.discard(timer_id)
+                # Preserved horizon edge: the event after a cancelled
+                # timer is dispatched without re-checking ``until`` (or
+                # the budget — the cancelled timer consumed none of it).
+                sched._pos = pos
+                sched._inc_pops += inc_pops
+                inc_pops = 0
+                if len(sched):
+                    pending = sched.pop()
+                    times = sched._cur_times
+                    targs = sched._cur_targets
+                    sends = sched._cur_senders
+                    msgs = sched._cur_messages
+                    pos = sched._pos
+                    cur_len = len(times)
+                    inc = sched._inc
+                    if cur_len == 0 or times[cur_len - 1] <= until:
+                        run_end = cur_len
+                    else:
+                        run_end = _bisect_right(times, until, pos)
+                continue
+            if time_ > now:
+                now = time_
+                sim.now = now
+#if CRASH
+            if is_crashed(target, now):
+                processed += 1
+                continue
+#endif
+            handler, ctx = fire_timer[target]
+            handler(ctx, payload)
+            processed += 1
+        elif kind == "external":
+            if time_ > now:
+                now = time_
+                sim.now = now
+            # External callbacks (workload probes, chaos hooks) may read
+            # the simulation's counters: flush the local tallies first.
+            sim._messages_delivered += delivered
+            sim._messages_dropped += dropped
+            delivered = 0
+            dropped = 0
+            payload()
+            processed += 1
+        else:
+            raise RuntimeError("unknown event kind %r" % (kind,))
+    if pending is not None:
+        # Popped but never dispatched (cannot happen today — the pending
+        # path bypasses every break — but kept symmetric with the heap
+        # loop): by pop order it precedes everything queued.
+        times.insert(pos, pending[0])
+        targs.insert(pos, _STD_TARGET)
+        sends.insert(pos, 0)
+        msgs.insert(pos, pending)
+    sched._pos = pos
+    sched._inc_pops += inc_pops
+    sim._messages_delivered += delivered
+    sim._messages_dropped += dropped
+    return processed
+"""
+
+
 def _render(template: str, features: Dict[str, bool]) -> str:
     """Render ``#if NAME`` / ``#else`` / ``#endif`` blocks (nested)."""
     lines = []
@@ -491,13 +862,20 @@ def _render(template: str, features: Dict[str, bool]) -> str:
     return "\n".join(lines) + "\n"
 
 
-_VARIANTS: Dict[Tuple[bool, bool, bool, bool], Callable] = {}
+_VARIANTS: Dict[Tuple[str, bool, bool, bool, bool], Callable] = {}
 
 
 def select_loop(compute: bool, crash: bool, sweep: bool,
-                budget: bool = True) -> Callable:
+                budget: bool = True, backend: str = "heap") -> Callable:
     """The compiled loop variant for one feature set (cached process-wide)."""
-    key = (compute, crash, sweep, budget)
+    if backend == "calendar":
+        # The calendar loop has no fusion fast path (members are already
+        # materialized in final order), so the sweep flag is normalized
+        # out of the key — toggling ``force_scalar_dispatch`` re-selects
+        # into the same (correct) variant.
+        key = (backend, compute, crash, False, budget)
+    else:
+        key = (backend, compute, crash, sweep, budget)
     loop = _VARIANTS.get(key)
     if loop is None:
         features = {
@@ -511,13 +889,21 @@ def select_loop(compute: bool, crash: bool, sweep: bool,
             # Unbounded `run(until)` calls compile out every per-event
             # budget compare; `step()` and bounded runs keep them.
             "BUDGET": budget,
+            # Plain deliveries (no crash drops, no compute deferrals)
+            # consume exactly one burst row each: the calendar burst can
+            # tally them per burst instead of per event.
+            "TALLY": not compute and not crash,
         }
-        source = _render(_LOOP_TEMPLATE, features)
+        template = _CALQ_TEMPLATE if backend == "calendar" else _LOOP_TEMPLATE
+        source = _render(template, features)
         namespace = {
             "_heappop": heapq.heappop,
             "_heappush": heapq.heappush,
             "_heappushpop": heapq.heappushpop,
+            "_bisect_right": bisect_right,
             "_EXTERNAL_TARGET": _EXTERNAL_TARGET,
+            "_STD_TARGET": _STD_TARGET,
+            "_INF": float("inf"),
         }
         code = compile(source, f"<dispatch-loop {key}>", "exec")
         exec(code, namespace)

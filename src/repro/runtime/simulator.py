@@ -65,8 +65,14 @@ from repro.net.transport import Delivery, Transport, build_transport
 from repro.runtime.compute import ComputeModel, build_compute
 from repro.runtime.context import ReplicaContext, Timer
 from repro.runtime.dispatch import UNBOUNDED, build_handler_tables, select_loop
+from repro.runtime.scheduler import SCHEDULERS, build_scheduler
 from repro.types.blocks import Block
 from repro.types.messages import Message
+
+try:  # pragma: no cover - numpy is present everywhere we benchmark
+    import numpy as _np
+except Exception:  # pragma: no cover
+    _np = None
 
 
 @dataclass
@@ -91,6 +97,12 @@ class NetworkConfig:
             ``"zero"`` (the default) charges nothing and leaves executions
             byte-for-byte identical to the pre-compute simulator.
         compute_scale: cost multiplier for the ``"crypto"`` compute model.
+        scheduler: event-queue backend — one of
+            :data:`repro.runtime.scheduler.SCHEDULERS` (``"auto"``,
+            ``"heap"``, ``"calendar"``).  ``"auto"`` (the default) picks the
+            calendar queue for large jittered runs and the binary heap
+            everywhere else; both replay the identical ``(time, seq)``
+            event order, so the choice never changes results.
     """
 
     latency: LatencyModel = field(default_factory=lambda: ConstantLatency(0.05))
@@ -102,6 +114,7 @@ class NetworkConfig:
     relays: int = 2
     compute: Union[str, ComputeModel] = "zero"
     compute_scale: float = 1.0
+    scheduler: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -119,6 +132,27 @@ class CommitRecord:
     block: Block
     commit_time: float
     finalization_kind: str
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised by :meth:`Simulation.run_until_idle` when the event budget
+    runs out with events still queued — a wedged run (a protocol feeding
+    itself work forever) must not masquerade as quiescence.
+
+    Attributes:
+        processed: events dispatched before the budget ran out.
+        remaining: events still queued when the run stopped.
+    """
+
+    def __init__(self, processed: int, remaining: int) -> None:
+        super().__init__(
+            "run_until_idle exhausted its %d-event budget with %d event%s "
+            "still queued; raise max_events or use run(until=...) for "
+            "workloads that never drain" % (processed, remaining,
+                                            "" if remaining == 1 else "s")
+        )
+        self.processed = processed
+        self.remaining = remaining
 
 
 #: Event target used for injected external events (not a replica id).
@@ -221,7 +255,6 @@ class Simulation:
             None if self._compute.trivial else self._compute.message_cost
         )
         self.now: float = 0.0
-        self._queue: List[tuple] = []
         self._seq = itertools.count()
         self._timer_ids = itertools.count(1)
         self._cancelled_timers: set = set()
@@ -274,6 +307,24 @@ class Simulation:
         latency_model = getattr(self._transport, "latency", self.network.latency)
         self._spread_broadcasts = not bool(getattr(latency_model, "jitter_free",
                                                    False))
+        # Event-queue backend (see :mod:`repro.runtime.scheduler`).  The
+        # heap backend exposes its raw list as ``self._queue`` so the
+        # compiled loop and the cold push sites keep the original zero-seam
+        # code; ``None`` routes every push through the scheduler object.
+        self._scheduler = build_scheduler(
+            self.network.scheduler, self._seq,
+            replicas=len(self.replica_ids),
+            jittered=self._spread_broadcasts,
+        )
+        self._queue: Optional[List[tuple]] = getattr(
+            self._scheduler, "heap", None)
+        # Receiver ids as an int64 array for the calendar spill (only
+        # needed when ids are not literally ``0..n-1``, where argsort
+        # indices double as receiver ids).
+        self._receiver_array = (
+            _np.asarray(self.replica_ids, dtype=_np.int64)
+            if _np is not None and not self._ids_are_range else None
+        )
         # Scheduled-event tallies by heap-event kind (``mbatch_members`` /
         # ``sbatch_members`` count the deliveries folded into the batch
         # events), surfaced by :meth:`event_counts` and the CLI
@@ -425,6 +476,11 @@ class Simulation:
         """
         return dict(self._event_kind_counts)
 
+    def scheduler_stats(self) -> Dict[str, object]:
+        """Event-queue backend counters (backend name, occupancy, and —
+        for the calendar queue — bucket width and adaptivity counters)."""
+        return self._scheduler.stats()
+
     # ------------------------------------------------------------------ #
     # External event injection
     # ------------------------------------------------------------------ #
@@ -452,8 +508,12 @@ class Simulation:
             raise TypeError("external event callback must be callable")
         self._external_scheduled += 1
         self._event_kind_counts["external"] += 1
-        heapq.heappush(self._queue, (self.now + delay, next(self._seq), "external",
-                                     _EXTERNAL_TARGET, callback))
+        event = (self.now + delay, next(self._seq), "external",
+                 _EXTERNAL_TARGET, callback)
+        if self._queue is not None:
+            heapq.heappush(self._queue, event)
+        else:
+            self._scheduler.push(event)
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -486,8 +546,11 @@ class Simulation:
             if not self.network.faults.is_crashed(replica_id, self.now):
                 self._protocols[replica_id].on_start(self._contexts[replica_id])
 
-        heapq.heappush(self._queue, (at_time, next(self._seq), "external",
-                                     _EXTERNAL_TARGET, boot))
+        event = (at_time, next(self._seq), "external", _EXTERNAL_TARGET, boot)
+        if self._queue is not None:
+            heapq.heappush(self._queue, event)
+        else:
+            self._scheduler.push(event)
 
     def _run_dispatch(self, until: float, max_events: Optional[int]) -> int:
         """Shared event-loop driver behind :meth:`run` and :meth:`step`.
@@ -509,6 +572,7 @@ class Simulation:
                 bool(self.network.faults.crash_schedule.crash_times),
                 not self._force_scalar_dispatch,
                 max_events is not None,
+                backend=self._scheduler.name,
             )
             total += loop(self, until, budget - total)
             if self._dispatch_generation == generation or total >= budget:
@@ -531,6 +595,11 @@ class Simulation:
 
         Events scheduled after ``until`` remain queued; the clock is advanced
         to exactly ``until`` at the end so measurements have a common horizon.
+        When ``max_events`` stops the run *before* the horizon, the clock is
+        left where the last event put it — events are still pending inside
+        the horizon, and jumping past them would let work scheduled by the
+        next chunk land beyond ``until``, silently changing the execution a
+        resumed run replays.
         (One deliberate edge: when a *cancelled* timer sits at the heap head
         inside the horizon, the next real event is dispatched without
         re-checking ``until`` — preserved from the original ``step()``-based
@@ -543,17 +612,25 @@ class Simulation:
         same-``(time, target)`` deliveries are fused into single
         :meth:`repro.protocols.base.Protocol.on_messages` sweeps.
         """
-        self._run_dispatch(until, max_events)
-        if until != math.inf:
+        processed = self._run_dispatch(until, max_events)
+        if until != math.inf and (max_events is None or processed < max_events):
             self.now = max(self.now, until)
 
-    def run_until_idle(self, max_events: int = 1_000_000) -> None:
-        """Run until no events remain (bounded by ``max_events``).
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Run until no events remain; return the number processed.
 
         Shares :meth:`run`'s hot loop (an infinite horizon never advances
-        the clock past the last event).
+        the clock past the last event).  ``max_events`` bounds the run
+        against protocols that feed themselves work forever — but a run
+        that *hits* the bound with events still queued is wedged, not
+        idle, so it raises :class:`BudgetExhausted` instead of silently
+        returning mid-execution.
         """
-        self.run(until=math.inf, max_events=max_events)
+        processed = self._run_dispatch(math.inf, max_events)
+        remaining = len(self._scheduler)
+        if remaining:
+            raise BudgetExhausted(processed, remaining)
+        return processed
 
     # ------------------------------------------------------------------ #
     # Internals used by the per-replica contexts
@@ -570,8 +647,12 @@ class Simulation:
             self._messages_dropped += 1
             return
         self._event_kind_counts["message"] += 1
-        heapq.heappush(self._queue, (delivery.deliver_at, next(self._seq), "message",
-                                     receiver, (sender, message)))
+        event = (delivery.deliver_at, next(self._seq), "message", receiver,
+                 (sender, message))
+        if self._queue is not None:
+            heapq.heappush(self._queue, event)
+        else:
+            self._scheduler.push(event)
 
     def _broadcast_message(self, sender: int, message: Message) -> None:
         receivers = self._replica_id_tuple
@@ -591,9 +672,15 @@ class Simulation:
             if dropped:
                 self._messages_dropped += dropped
             self._event_kind_counts["message"] += len(deliveries)
-            for delivery in deliveries:
-                heappush(queue, (delivery.deliver_at, next(seq), "message",
-                                 delivery.receiver, payload))
+            if queue is not None:
+                for delivery in deliveries:
+                    heappush(queue, (delivery.deliver_at, next(seq), "message",
+                                     delivery.receiver, payload))
+            else:
+                push = self._scheduler.push
+                for delivery in deliveries:
+                    push((delivery.deliver_at, next(seq), "message",
+                          delivery.receiver, payload))
             delivered = {delivery.receiver: delivery for delivery in deliveries}
             for receiver in receivers:
                 delivery = delivered.get(receiver)
@@ -630,6 +717,19 @@ class Simulation:
                 # ``sorted(zip(row, receivers))`` — and ``tolist()``
                 # preserves float bits.
                 order = arrival_array.argsort(kind="stable")
+                if queue is None:
+                    # Calendar backend: hand the sorted schedule over as
+                    # aligned numpy arrays — the queue spills it into
+                    # per-bucket segments (one seq draw, same tie-break as
+                    # the sbatch event below; see scheduler.spill).
+                    counts["sbatch"] += 1
+                    counts["sbatch_members"] += len(order)
+                    self._scheduler.spill(
+                        arrival_array.take(order),
+                        order if self._ids_are_range
+                        else self._receiver_array.take(order),
+                        sender, message, payload)
+                    return
                 times = arrival_array[order].tolist()
                 if self._ids_are_range:
                     targets = order.tolist()
@@ -657,6 +757,21 @@ class Simulation:
             if times:
                 counts["sbatch"] += 1
                 counts["sbatch_members"] += len(times)
+                if queue is None:
+                    # Calendar backend, scalar schedule (no numpy row /
+                    # relay pair list): push members individually under
+                    # fractional seqs ``base + i/count`` — they order as
+                    # one contiguous block at ``base`` against every
+                    # integer seq, and among themselves in schedule order,
+                    # while consuming the same single counter draw as the
+                    # sbatch event.
+                    base = next(seq)
+                    push = self._scheduler.push
+                    member_count = len(times)
+                    for i in range(member_count):
+                        push((times[i], base + i / member_count if i else base,
+                              "message", targets[i], payload))
+                    return
                 # Flat payload (one unpack per dispatch): ``index`` must
                 # stay at slot 2 (the loop's resume-point writes).
                 heappush(queue, (times[0], next(seq), "sbatch", targets[0],
@@ -695,17 +810,21 @@ class Simulation:
                     groups[deliver_at] = [receiver]
                 else:
                     group.append(receiver)
+        push = self._scheduler.push if queue is None else None
         for deliver_at, targets in groups.items():
             size = len(targets)
             if size == 1:
                 counts["message"] += 1
-                heappush(queue, (deliver_at, next(seq), "message",
-                                 targets[0], payload))
+                event = (deliver_at, next(seq), "message", targets[0], payload)
             else:
                 counts["mbatch"] += 1
                 counts["mbatch_members"] += size
-                heappush(queue, (deliver_at, next(seq), "mbatch",
-                                 _EXTERNAL_TARGET, (targets, payload)))
+                event = (deliver_at, next(seq), "mbatch", _EXTERNAL_TARGET,
+                         (targets, payload))
+            if push is None:
+                heappush(queue, event)
+            else:
+                push(event)
         groups.clear()
 
     def _arm_timer(self, replica_id: int, delay: float, name: str, data: Any) -> int:
@@ -715,8 +834,11 @@ class Simulation:
         timer = Timer(name=name, fire_time=self.now + delay, data=data, timer_id=timer_id)
         self._pending_timers.add(timer_id)
         self._event_kind_counts["timer"] += 1
-        heapq.heappush(self._queue, (timer.fire_time, next(self._seq), "timer",
-                                     replica_id, timer))
+        event = (timer.fire_time, next(self._seq), "timer", replica_id, timer)
+        if self._queue is not None:
+            heapq.heappush(self._queue, event)
+        else:
+            self._scheduler.push(event)
         return timer_id
 
     def _cancel_timer(self, timer_id: int) -> None:

@@ -121,6 +121,38 @@ class TestWeightedStats:
     def test_zero_weight_entries_are_ignored(self):
         assert weighted_percentile([5.0, 1.0], [0.0, 2.0], 50) == 1.0
 
+    def test_unit_weight_equivalence_at_million_counts(self):
+        # Fluid-mode scale: a million unit-weight samples.  The cumulative
+        # rank accumulation must stay exact (integer partial sums below
+        # 2**53), so the nearest-rank bucket can never flip vs the
+        # unweighted path.
+        rng = random.Random(11)
+        values = [rng.random() for _ in range(1_000_000)]
+        for q in (0, 10, 50, 90, 99, 99.9, 100):
+            assert weighted_percentile(values, [1.0] * len(values), q) == \
+                percentile(values, q)
+
+    def test_uniform_fractional_weights_match_unweighted(self):
+        # Uniform weights cancel out of the percentile whatever their
+        # magnitude — but 0.1 is inexact in binary, so a naive running sum
+        # drifts off the q/100 * total target over 1e5 additions; the
+        # compensated accumulation must not let that flip a bucket.
+        rng = random.Random(7)
+        values = [rng.random() for _ in range(100_000)]
+        for weight in (0.1, 1e6 + 0.1):
+            for q in (25, 50, 75, 90, 99, 100):
+                assert weighted_percentile(
+                    values, [weight] * len(values), q) == \
+                    percentile(values, q)
+
+    def test_weighted_mean_is_exactly_rounded_at_scale(self):
+        # 1e6-count weights: fsum keeps the mean independent of summation
+        # order noise.
+        values = [1.0 + i * 1e-9 for i in range(10_000)]
+        weights = [1_000_000.0] * len(values)
+        assert weighted_mean(values, weights) == \
+            pytest.approx(sum(values) / len(values), rel=0, abs=1e-12)
+
     def test_weighted_mean(self):
         assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
         assert weighted_mean([], []) == 0.0

@@ -103,8 +103,14 @@ def _commit_digest(simulation: Simulation) -> str:
     return hashlib.sha256(repr(commits).encode()).hexdigest()
 
 
-def _execution_digest(protocol: str, transport: str, compute: str) -> str:
-    """Run one corpus cell: n=4 on the global topology, 8 simulated seconds."""
+def _execution_digest(protocol: str, transport: str, compute: str,
+                      scheduler: str = "auto") -> str:
+    """Run one corpus cell: n=4 on the global topology, 8 simulated seconds.
+
+    ``scheduler`` forces an event-queue backend; both backends replay the
+    same ``(time, seq)`` total order, so every cell's digest must be
+    invariant to it (pinned by ``tests/test_scheduler.py``).
+    """
     params = ProtocolParams(n=4, f=1, p=1, rank_delay=0.6, payload_size=50_000)
     topology = four_global_datacenters(4)
     network = NetworkConfig(
@@ -116,6 +122,7 @@ def _execution_digest(protocol: str, transport: str, compute: str) -> str:
         uplink_bytes_per_s=6_250_000.0 if transport == "contended" else None,
         relays=2,
         compute=compute,
+        scheduler=scheduler,
     )
     simulation = Simulation(create_replicas(protocol, params), network)
     simulation.run(until=8.0)
